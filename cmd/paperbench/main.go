@@ -1,0 +1,101 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the index) and writes the results as
+// text tables under -out.
+//
+// Usage:
+//
+//	paperbench                 # everything at publication scale
+//	paperbench -quick          # fast smoke run
+//	paperbench -only fig9      # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"shadowblock/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	only := flag.String("only", "", "run a single experiment (tableI, fig6, fig8, ... fig19, ablation)")
+	out := flag.String("out", "results", "output directory ('' = stdout only)")
+	refs := flag.Int("refs", 0, "override references per run")
+	flag.Parse()
+
+	r := experiments.Default()
+	if *quick {
+		r = experiments.Quick()
+	}
+	if *refs > 0 {
+		r.Refs = *refs
+	}
+
+	type exp struct {
+		name string
+		run  func() (string, error)
+	}
+	expts := []exp{
+		{"tableI", func() (string, error) { return experiments.TableI(), nil }},
+		{"fig6", wrap(func() (renderer, error) { return experiments.Fig06(r) })},
+		{"fig8", wrap(func() (renderer, error) { return experiments.Fig08(r) })},
+		{"fig9", wrap(func() (renderer, error) { return experiments.Fig09(r) })},
+		{"fig10", wrap(func() (renderer, error) { return experiments.Fig10(r) })},
+		{"fig11", wrap(func() (renderer, error) { return experiments.Fig11(r) })},
+		{"fig12", wrap(func() (renderer, error) { return experiments.Fig12(r) })},
+		{"fig13", wrap(func() (renderer, error) { return experiments.Fig13(r) })},
+		{"fig14", wrap(func() (renderer, error) { return experiments.Fig14(r) })},
+		{"fig15", wrap(func() (renderer, error) { return experiments.Fig15(r) })},
+		{"fig16", wrap(func() (renderer, error) { return experiments.Fig16(r) })},
+		{"fig17", wrap(func() (renderer, error) { return experiments.Fig17(r) })},
+		{"fig18", wrap(func() (renderer, error) { return experiments.Fig18(r) })},
+		{"fig19", wrap(func() (renderer, error) { return experiments.Fig19(r) })},
+		{"ablation", wrap(func() (renderer, error) { return experiments.Ablation(r) })},
+		{"ring", wrap(func() (renderer, error) { return experiments.RingStudy(r) })},
+		{"occupancy", wrap(func() (renderer, error) { return experiments.Occupancy(r) })},
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, e := range expts {
+		if *only != "" && !strings.EqualFold(*only, e.name) {
+			continue
+		}
+		start := time.Now()
+		text, err := e.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.name, err))
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.name, time.Since(start).Seconds(), text)
+		if *out != "" {
+			path := filepath.Join(*out, e.name+".txt")
+			if err := os.WriteFile(path, []byte(text+"\n"), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+type renderer interface{ Render() string }
+
+func wrap(fn func() (renderer, error)) func() (string, error) {
+	return func() (string, error) {
+		v, err := fn()
+		if err != nil {
+			return "", err
+		}
+		return v.Render(), nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

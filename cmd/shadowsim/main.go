@@ -1,0 +1,122 @@
+// Command shadowsim runs one workload against one memory-system scheme and
+// prints the metric breakdown of eq. 1 (total = data access + DRI) along
+// with controller and DRAM counters.
+//
+// Usage:
+//
+//	shadowsim -bench hmmer -scheme dynamic-3 -tp
+//	shadowsim -bench mcf -scheme static-7
+//	shadowsim -bench namd -scheme insecure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/sim"
+	"shadowblock/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "hmmer", "workload: "+strings.Join(trace.Names(), ", "))
+	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N")
+	tp := flag.Bool("tp", false, "enable timing protection (constant-rate requests)")
+	refs := flag.Int("refs", 60000, "memory references per core")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	treetop := flag.Int("treetop", 0, "cache the top N tree levels on-chip")
+	xor := flag.Bool("xor", false, "XOR compression comparator")
+	cpuType := flag.String("cpu", "inorder", "inorder | o3")
+	level := flag.Int("L", 0, "override tree leaf level (default 18)")
+	flag.Parse()
+
+	p, ok := trace.ByName(*bench)
+	if !ok {
+		fail(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	ocfg := oram.Default()
+	ocfg.TimingProtection = *tp
+	ocfg.TreetopLevels = *treetop
+	ocfg.XOR = *xor
+	if *level > 0 {
+		ocfg.L = *level
+	}
+
+	spec := sim.Spec{Profile: p, Refs: *refs, Seed: *seed, ORAM: ocfg}
+	switch *cpuType {
+	case "inorder":
+		spec.CPU = cpu.InOrder()
+	case "o3":
+		spec.CPU = cpu.O3()
+	default:
+		fail(fmt.Errorf("unknown cpu type %q", *cpuType))
+	}
+
+	switch {
+	case *scheme == "insecure":
+		spec.Insecure = true
+	case *scheme == "tiny":
+	case *scheme == "rd":
+		c := core.RDOnly()
+		spec.Policy = &c
+	case *scheme == "hd":
+		c := core.HDOnly()
+		spec.Policy = &c
+	case strings.HasPrefix(*scheme, "static-"):
+		n, err := strconv.Atoi(strings.TrimPrefix(*scheme, "static-"))
+		if err != nil {
+			fail(fmt.Errorf("bad scheme %q: %w", *scheme, err))
+		}
+		c := core.Static(n)
+		spec.Policy = &c
+	case strings.HasPrefix(*scheme, "dynamic-"):
+		n, err := strconv.Atoi(strings.TrimPrefix(*scheme, "dynamic-"))
+		if err != nil {
+			fail(fmt.Errorf("bad scheme %q: %w", *scheme, err))
+		}
+		c := core.Dynamic(n)
+		spec.Policy = &c
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	m, err := sim.Run(spec)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload        %s (%d refs, seed %d)\n", p.Name, *refs, *seed)
+	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v cpu=%s)\n", *scheme, *tp, *treetop, *xor, *cpuType)
+	fmt.Printf("total cycles    %d\n", m.Cycles)
+	fmt.Printf("  data access   %d (%.1f%%)\n", m.DataAccess, 100*float64(m.DataAccess)/float64(m.Cycles))
+	fmt.Printf("  DRI           %d (%.1f%%)\n", m.DRI, 100*float64(m.DRI)/float64(m.Cycles))
+	fmt.Printf("energy          %.0f\n", m.Energy)
+	fmt.Printf("references      %d (L1 %d, L2 %d, LLC misses %d, writebacks %d)\n",
+		m.CPU.References, m.CPU.L1Hits, m.CPU.L2Hits, m.CPU.LLCMisses, m.CPU.Writebacks)
+	if !spec.Insecure {
+		o := m.ORAM
+		fmt.Printf("ORAM requests   %d (stash hits %d, shadow hits %d, on-chip rate %.3f)\n",
+			o.Requests, o.StashHits, o.ShadowStashHits, m.OnChipHitRate)
+		fmt.Printf("ORAM accesses   %d (pm %d, dummies %d, evictions %d, shadow forwards %d)\n",
+			o.ORAMAccesses, o.PMAccesses, o.DummyAccesses, o.EvictionPhases, o.ShadowForwards)
+		fmt.Printf("DRAM            reads %d, writes %d, row hit rate %.2f\n",
+			m.Mem.Reads, m.Mem.Writes,
+			float64(m.Mem.RowHits)/float64(m.Mem.RowHits+m.Mem.RowMisses))
+		if o.StashOverflows > 0 || o.Anomalies > 0 {
+			fmt.Printf("WARNING         overflows=%d anomalies=%d\n", o.StashOverflows, o.Anomalies)
+		}
+		if m.MeanPartition > 0 {
+			fmt.Printf("mean partition  %.1f\n", m.MeanPartition)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "shadowsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package shadowblock is a from-scratch reproduction of "Shadow Block:
+// Accelerating ORAM Accesses with Data Duplication" (MICRO 2018): a
+// Tiny/RAW Path ORAM simulator with a recursive position map, a DDR3
+// timing model, trace-driven CPU models, and the paper's shadow-block
+// duplication engine (RD-Dup, HD-Dup, static and dynamic partitioning).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// root-level benchmarks (bench_test.go) regenerate each figure at reduced
+// scale; cmd/paperbench regenerates them at full scale.
+package shadowblock

@@ -1,0 +1,54 @@
+// partitiontuning reproduces the Fig. 6 intuition on a phased workload:
+// RD-Dup wins in long-interval phases, HD-Dup in short-interval ones, and
+// dynamic partitioning tracks both. It sweeps the static partition level
+// and the DRI-counter width on hmmer.
+package main
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/sim"
+	"shadowblock/internal/trace"
+)
+
+func main() {
+	p, _ := trace.ByName("hmmer")
+	ocfg := oram.Default()
+	ocfg.TimingProtection = true
+
+	run := func(pol *core.Config) sim.Metrics {
+		m, err := sim.Run(sim.Spec{
+			Profile: p, CPU: cpu.InOrder(), Refs: 30000, Seed: 7,
+			ORAM: ocfg, Policy: pol,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+
+	tiny := run(nil)
+	fmt.Printf("hmmer, timing protection, normalized to Tiny ORAM (%d cycles)\n\n", tiny.Cycles)
+
+	fmt.Println("static partition sweep (levels < P use HD-Dup, >= P use RD-Dup):")
+	for _, lv := range []int{0, 2, 4, 7, 10, 14, 19} {
+		c := core.Static(lv)
+		m := run(&c)
+		fmt.Printf("  P=%-2d  total=%.4f  data=%.4f  dri=%.4f\n",
+			lv,
+			float64(m.Cycles)/float64(tiny.Cycles),
+			float64(m.DataAccess)/float64(tiny.Cycles),
+			float64(m.DRI)/float64(tiny.Cycles))
+	}
+
+	fmt.Println("\ndynamic partitioning, DRI-counter width sweep:")
+	for _, bits := range []int{1, 2, 3, 4, 6, 8} {
+		c := core.Dynamic(bits)
+		m := run(&c)
+		fmt.Printf("  %d-bit  total=%.4f  mean partition level=%.1f\n",
+			bits, float64(m.Cycles)/float64(tiny.Cycles), m.MeanPartition)
+	}
+}

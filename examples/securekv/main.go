@@ -1,0 +1,110 @@
+// securekv is a functional demonstration of the library: a tiny key-value
+// store whose every operation is a real ORAM access over really encrypted
+// blocks — an adversary watching the (simulated) memory sees only
+// uniformly random path reads and writes, never which key was touched.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/oram"
+)
+
+// Store maps string keys onto ORAM blocks with open addressing. Values are
+// capped at one block.
+type Store struct {
+	ctrl *oram.Controller
+	now  int64
+	keys map[string]uint32 // key -> block address (directory kept on-chip)
+	next uint32
+}
+
+// NewStore builds a functional shadow-block ORAM and wraps it.
+func NewStore() (*Store, error) {
+	cfg := oram.Default()
+	cfg.L = 10 // 4096 data blocks is plenty for a demo
+	cfg.Functional = true
+	ctrl, _, err := core.New(cfg, core.Dynamic(3))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{ctrl: ctrl, keys: make(map[string]uint32)}, nil
+}
+
+func (s *Store) addr(key string) uint32 {
+	if a, ok := s.keys[key]; ok {
+		return a
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	a := s.next // simple bump allocation; a real store would hash + probe
+	s.next++
+	s.keys[key] = a
+	return a
+}
+
+// Put stores value under key.
+func (s *Store) Put(key, value string) {
+	out := s.ctrl.WriteBlock(s.now, s.addr(key), []byte(value))
+	s.now = out.Done + 1
+}
+
+// Get fetches the value under key.
+func (s *Store) Get(key string) string {
+	data, out := s.ctrl.ReadBlock(s.now, s.addr(key))
+	s.now = out.Done + 1
+	// Trim the block padding.
+	n := len(data)
+	for n > 0 && data[n-1] == 0 {
+		n--
+	}
+	return string(data[:n])
+}
+
+func main() {
+	s, err := NewStore()
+	if err != nil {
+		panic(err)
+	}
+
+	var reads, writes int
+	s.ctrl.SetObserver(func(e oram.Event) {
+		switch e.Kind {
+		case oram.EvPathRead:
+			reads++
+		case oram.EvPathWrite:
+			writes++
+		}
+	})
+
+	s.Put("alice", "credit: 901")
+	s.Put("bob", "credit: 17")
+	s.Put("carol", "credit: 5587")
+	s.Put("alice", "credit: 1024") // overwrite
+
+	// Enough churn to drive real evictions and duplication.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("user-%d", i%40)
+		s.Put(key, fmt.Sprintf("balance-%d", i))
+	}
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		want := fmt.Sprintf("balance-%d", 160+i)
+		if got := s.Get(key); got != want {
+			panic(fmt.Sprintf("%s = %q, want %q", key, got, want))
+		}
+	}
+	fmt.Println("200 writes + 40 verified reads over 40 keys: all current")
+
+	fmt.Println("alice =", s.Get("alice"))
+	fmt.Println("bob   =", s.Get("bob"))
+	fmt.Println("carol =", s.Get("carol"))
+
+	if err := s.ctrl.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nexternally visible: %d path reads, %d path writes — every block re-encrypted each time\n", reads, writes)
+	fmt.Println("ORAM invariants hold; duplication changed only what dummy slots contain")
+}

@@ -1,0 +1,92 @@
+// timingchannel demonstrates the paper's §III security argument: naively
+// fetching the intended block first leaks the access pattern through the
+// Read-Recent-Written-Path statistic, while shadow-block duplication leaves
+// the external trace exactly as Tiny ORAM would have produced it.
+package main
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/rng"
+	"shadowblock/internal/tree"
+)
+
+// naiveRRWP models the insecure design: the attacker sees, per request,
+// which path position is fetched first, and counts how often it belongs to
+// one of the last k written paths.
+func naiveRRWP(geo tree.Geometry, seq []uint32, k int) float64 {
+	labels := make(map[uint32]uint32)
+	r := rng.NewXoshiro(5)
+	var recent []uint32
+	hits := 0
+	for _, a := range seq {
+		l, ok := labels[a]
+		if !ok {
+			l = uint32(r.Uint64n(uint64(geo.NumLeaves())))
+		}
+		for _, w := range recent {
+			if w == l {
+				hits++
+				break
+			}
+		}
+		nl := uint32(r.Uint64n(uint64(geo.NumLeaves())))
+		labels[a] = nl
+		recent = append(recent, nl)
+		if len(recent) > k {
+			recent = recent[1:]
+		}
+	}
+	return float64(hits) / float64(len(seq))
+}
+
+func main() {
+	geo, err := tree.NewGeometry(12, 4)
+	if err != nil {
+		panic(err)
+	}
+	n := 4000
+	scan := make([]uint32, n)
+	cyclic := make([]uint32, n)
+	for i := range scan {
+		scan[i] = uint32(i)
+		cyclic[i] = uint32(i % 8)
+	}
+
+	const k = 16
+	fmt.Println("-- naive 'fetch intended first' (insecure) --")
+	fmt.Printf("scan   RRWP-%d rate: %.4f\n", k, naiveRRWP(geo, scan, k))
+	fmt.Printf("cyclic RRWP-%d rate: %.4f  <- distinguishable!\n", k, naiveRRWP(geo, cyclic, k))
+
+	fmt.Println("\n-- shadow-block ORAM (same seed, shadow hits disabled for an exact comparison) --")
+	cfg := oram.Default()
+	cfg.L = 10
+	cfg.DisableShadowHits = true
+
+	traceOf := func(build func() *oram.Controller, seq []uint32) []oram.Event {
+		ctrl := build()
+		var ev []oram.Event
+		ctrl.SetObserver(func(e oram.Event) { ev = append(ev, e) })
+		space := uint32(ctrl.NumDataBlocks())
+		for i, a := range seq[:800] {
+			ctrl.Request(int64(i)*1500, a%space, false)
+		}
+		return ev
+	}
+
+	tinyScan := traceOf(func() *oram.Controller { return oram.MustNew(cfg, nil) }, scan)
+	shadowScan := traceOf(func() *oram.Controller {
+		c, _ := core.MustNew(cfg, core.Dynamic(3))
+		return c
+	}, scan)
+
+	same := len(tinyScan) == len(shadowScan)
+	for i := 0; same && i < len(tinyScan); i++ {
+		same = tinyScan[i] == shadowScan[i]
+	}
+	fmt.Printf("tiny-vs-shadow external traces identical: %v (%d events)\n", same, len(tinyScan))
+	fmt.Println("the attacker observes the same physical reads/writes at the same times;")
+	fmt.Println("only the *contents* of freshly re-encrypted dummy slots differ")
+}

@@ -1,0 +1,3 @@
+module shadowblock
+
+go 1.22

@@ -1,0 +1,99 @@
+// Package block defines ORAM block metadata and its packed slot encoding.
+//
+// Every slot in the ORAM tree and every entry in the stash carries a Meta:
+// the block kind (dummy / real / shadow), the program address, the leaf
+// label, and — for shadow blocks — SrcLevel, the tree level at which the
+// duplicated real block was placed. SrcLevel is what lets the controller
+// enforce the paper's Rule-2 ("a shadow block always appears at lower
+// levels of the ORAM tree than the data block being duplicated") even when
+// a shadow is re-evicted from the stash long after it was created.
+package block
+
+import "fmt"
+
+// Kind classifies a block slot.
+type Kind uint8
+
+const (
+	// Dummy slots hold meaningless (freshly re-encrypted) data.
+	Dummy Kind = iota
+	// Real blocks hold current program data.
+	Real
+	// Shadow blocks hold a duplicate of a real block's data (the paper's
+	// contribution). They are indistinguishable from dummies off-chip.
+	Shadow
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dummy:
+		return "dummy"
+	case Real:
+		return "real"
+	case Shadow:
+		return "shadow"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Packed-field widths. Addr and Label each get 28 bits (enough for L <= 26
+// trees and their recursive position-map address space), SrcLevel 6 bits,
+// Kind 2 bits: 28+28+6+2 = 64.
+const (
+	addrBits  = 28
+	labelBits = 28
+	srcBits   = 6
+
+	// MaxAddr is the largest representable program address.
+	MaxAddr = 1<<addrBits - 1
+	// MaxLabel is the largest representable leaf label.
+	MaxLabel = 1<<labelBits - 1
+	// MaxSrcLevel is the largest representable source level.
+	MaxSrcLevel = 1<<srcBits - 1
+)
+
+// Meta is the metadata of one block.
+type Meta struct {
+	Kind     Kind
+	Addr     uint32 // program (unified-space) block address
+	Label    uint32 // leaf label; the block must be in the stash or on this path
+	SrcLevel uint8  // shadows only: level of the real copy when duplicated
+}
+
+// DummyMeta is the canonical metadata of an empty slot.
+var DummyMeta = Meta{Kind: Dummy}
+
+// Pack encodes m into a single uint64 for compact tree storage.
+// Layout (LSB first): kind:2 | srcLevel:6 | addr:28 | label:28.
+func (m Meta) Pack() uint64 {
+	return uint64(m.Kind)&3 |
+		uint64(m.SrcLevel)<<2 |
+		uint64(m.Addr&MaxAddr)<<(2+srcBits) |
+		uint64(m.Label&MaxLabel)<<(2+srcBits+addrBits)
+}
+
+// Unpack decodes a value produced by Pack.
+func Unpack(p uint64) Meta {
+	return Meta{
+		Kind:     Kind(p & 3),
+		SrcLevel: uint8(p >> 2 & MaxSrcLevel),
+		Addr:     uint32(p >> (2 + srcBits) & MaxAddr),
+		Label:    uint32(p >> (2 + srcBits + addrBits) & MaxLabel),
+	}
+}
+
+// IsDummy reports whether the slot is empty.
+func (m Meta) IsDummy() bool { return m.Kind == Dummy }
+
+// String implements fmt.Stringer.
+func (m Meta) String() string {
+	if m.Kind == Dummy {
+		return "{dummy}"
+	}
+	if m.Kind == Shadow {
+		return fmt.Sprintf("{shadow a=%d l=%d src=%d}", m.Addr, m.Label, m.SrcLevel)
+	}
+	return fmt.Sprintf("{real a=%d l=%d}", m.Addr, m.Label)
+}

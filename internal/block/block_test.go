@@ -1,0 +1,60 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(kind uint8, addr, label uint32, src uint8) bool {
+		m := Meta{
+			Kind:     Kind(kind % 3),
+			Addr:     addr & MaxAddr,
+			Label:    label & MaxLabel,
+			SrcLevel: src & MaxSrcLevel,
+		}
+		return Unpack(m.Pack()) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDummyMetaPacksToKindBitsOnly(t *testing.T) {
+	if DummyMeta.Pack() != 0 {
+		t.Fatalf("DummyMeta.Pack() = %#x, want 0", DummyMeta.Pack())
+	}
+	if !Unpack(0).IsDummy() {
+		t.Fatal("Unpack(0) is not dummy")
+	}
+}
+
+func TestPackBoundaryValues(t *testing.T) {
+	m := Meta{Kind: Shadow, Addr: MaxAddr, Label: MaxLabel, SrcLevel: MaxSrcLevel}
+	if got := Unpack(m.Pack()); got != m {
+		t.Fatalf("boundary round-trip: got %+v, want %+v", got, m)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Dummy: "dummy", Real: "real", Shadow: "shadow", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+}
+
+func TestMetaString(t *testing.T) {
+	if DummyMeta.String() != "{dummy}" {
+		t.Errorf("dummy string = %q", DummyMeta.String())
+	}
+	m := Meta{Kind: Real, Addr: 7, Label: 3}
+	if m.String() != "{real a=7 l=3}" {
+		t.Errorf("real string = %q", m.String())
+	}
+	s := Meta{Kind: Shadow, Addr: 7, Label: 3, SrcLevel: 9}
+	if s.String() != "{shadow a=7 l=3 src=9}" {
+		t.Errorf("shadow string = %q", s.String())
+	}
+}

@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(32*1024, 64, 2); err != nil {
+		t.Fatalf("L1 geometry rejected: %v", err)
+	}
+	bad := [][3]int{
+		{0, 64, 2},
+		{1024, 0, 2},
+		{1024, 64, 0},
+		{1024, 63, 2},    // line not power of two
+		{96 * 64, 64, 2}, // 48 sets, not power of two
+	}
+	for _, b := range bad {
+		if _, err := New(b[0], b[1], b[2]); err == nil {
+			t.Errorf("New(%v) accepted", b)
+		}
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := MustNew(1024, 64, 2)
+	if hit, _, _, _ := c.Access(0, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _, _, _ := c.Access(32, false); !hit {
+		t.Fatal("same-line access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 1 set: 128 bytes, 64B lines.
+	c := MustNew(128, 64, 2)
+	c.Access(0, false)    // A
+	c.Access(64*2, false) // B (same set: only one set exists)
+	c.Access(0, false)    // touch A -> B is LRU
+	hit, victim, _, evicted := c.Access(64*4, false)
+	if hit {
+		t.Fatal("conflicting access hit")
+	}
+	if !evicted || victim != 64*2 {
+		t.Fatalf("evicted=%v victim=%d, want B=%d", evicted, victim, 64*2)
+	}
+	if !c.Contains(0) || c.Contains(64*2) {
+		t.Fatal("LRU evicted the wrong line")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := MustNew(128, 64, 2)
+	c.Access(0, true) // dirty A
+	c.Access(64*2, false)
+	_, victim, dirty, evicted := c.Access(64*4, false)
+	if !evicted || victim != 0 || !dirty {
+		t.Fatalf("evicted=%v victim=%d dirty=%v; want dirty A", evicted, victim, dirty)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(1024, 64, 2)
+	c.Access(0, true)
+	if !c.Invalidate(0) {
+		t.Fatal("invalidate of dirty line reported clean")
+	}
+	if c.Contains(0) {
+		t.Fatal("line survives invalidation")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("second invalidate found the line")
+	}
+}
+
+// Property: resident set never exceeds capacity, and an immediately repeated
+// access always hits.
+func TestCacheProperties(t *testing.T) {
+	c := MustNew(4096, 64, 4)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a), a%3 == 0)
+			if hit, _, _, _ := c.Access(uint64(a), false); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotAddrCounts(t *testing.T) {
+	h := NewHotAddrCache(128, 4)
+	for i := 0; i < 5; i++ {
+		h.Touch(42)
+	}
+	h.Touch(7)
+	if got := h.Count(42); got != 5 {
+		t.Fatalf("Count(42) = %d, want 5", got)
+	}
+	// A single touch stays in the doorkeeper, not the counters.
+	if got := h.Count(7); got != 0 {
+		t.Fatalf("Count(first-touch) = %d, want 0", got)
+	}
+	h.Touch(7)
+	if got := h.Count(7); got != 2 {
+		t.Fatalf("Count(second-touch) = %d, want 2", got)
+	}
+	if got := h.Count(999); got != 0 {
+		t.Fatalf("Count(absent) = %d, want 0", got)
+	}
+}
+
+func TestHotAddrDoorkeeperBlocksOneTouchChurn(t *testing.T) {
+	// One set with 2 ways: two hot entries must survive a stream of
+	// one-touch addresses that map to the same set.
+	h := NewHotAddrCache(2, 2)
+	for i := 0; i < 10; i++ {
+		h.Touch(0)
+		h.Touch(4)
+	}
+	for a := uint32(8); a < 8+400; a += 4 {
+		h.Touch(a) // never repeated
+	}
+	if h.Count(0) != 10 || h.Count(4) != 10 {
+		t.Fatalf("hot entries churned out: %d, %d", h.Count(0), h.Count(4))
+	}
+}
+
+func TestHotAddrSecondTouchEvictsLFU(t *testing.T) {
+	h := NewHotAddrCache(2, 2)
+	for i := 0; i < 10; i++ {
+		h.Touch(0)
+	}
+	h.Touch(4)
+	h.Touch(4) // admitted, takes the free way
+	h.Touch(8)
+	h.Touch(8) // admitted, evicts the LFU (4), not the hot entry
+	if h.Count(0) != 10 {
+		t.Fatalf("hot entry evicted; Count(0)=%d", h.Count(0))
+	}
+	if h.Count(4) != 0 {
+		t.Fatal("LFU entry survived")
+	}
+	if h.Count(8) != 2 {
+		t.Fatalf("Count(8) = %d, want 2", h.Count(8))
+	}
+}
+
+func TestHotAddrBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	NewHotAddrCache(3, 2)
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := MustNew(1<<20, 64, 8)
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64%(1<<22)), false)
+	}
+}

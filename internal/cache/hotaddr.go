@@ -1,0 +1,102 @@
+package cache
+
+// HotAddrCache is the paper's Hot Address Cache (§V-B): a small
+// set-associative structure that counts accesses to LLC-miss addresses with
+// Least-Frequently-Used replacement. HD-Dup consults it to rank duplication
+// candidates; an address absent from the cache has priority zero.
+//
+// Admission is gated by a doorkeeper (a small first-touch ring, as in
+// TinyLFU): an address enters a counting way only on its second touch
+// within the doorkeeper's window. Pure LFU churns — a just-admitted hot
+// address ties at count 1 with the stream of never-repeated miss addresses
+// and loses its way before its second touch.
+type HotAddrCache struct {
+	sets    [][]hotLine
+	ways    int
+	setMask uint32
+
+	door     map[uint32]struct{}
+	doorRing []uint32
+	doorPos  int
+}
+
+type hotLine struct {
+	tag   uint32
+	valid bool
+	count uint64
+}
+
+// NewHotAddrCache builds a cache of `entries` counters with the given
+// associativity. entries/ways must be a power of two. The paper's 1 KB
+// structure corresponds to roughly 128 entries.
+func NewHotAddrCache(entries, ways int) *HotAddrCache {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("cache: bad HotAddrCache geometry")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("cache: HotAddrCache sets not a power of two")
+	}
+	const doorEntries = 2048
+	h := &HotAddrCache{
+		sets:     make([][]hotLine, nsets),
+		ways:     ways,
+		setMask:  uint32(nsets - 1),
+		door:     make(map[uint32]struct{}, doorEntries),
+		doorRing: make([]uint32, doorEntries),
+	}
+	for i := range h.sets {
+		h.sets[i] = make([]hotLine, ways)
+	}
+	return h
+}
+
+// Touch records one access to addr, allocating a counter on first touch.
+// Replacement is LFU with frequency-decay admission: a miss decrements the
+// least-frequent way and only takes its place once that count reaches
+// zero. Plain LFU would churn: every one-touch address ties at count 1
+// with a genuinely hot address that was just admitted, and the hot address
+// loses its slot before its second touch ever lands.
+func (h *HotAddrCache) Touch(addr uint32) {
+	set := h.sets[addr&h.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			set[i].count++
+			return
+		}
+	}
+	// First sighting goes to the doorkeeper only. The ring stores addr+1
+	// so that zero means "empty" (address 0 is legal).
+	if _, seen := h.door[addr]; !seen {
+		if old := h.doorRing[h.doorPos]; old != 0 {
+			delete(h.door, old-1)
+		}
+		h.doorRing[h.doorPos] = addr + 1
+		h.doorPos = (h.doorPos + 1) % len(h.doorRing)
+		h.door[addr] = struct{}{}
+		return
+	}
+	// Second touch within the window: admit, evicting the LFU way.
+	vi := -1
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if vi == -1 || set[i].count < set[vi].count {
+			vi = i
+		}
+	}
+	set[vi] = hotLine{tag: addr, valid: true, count: 2}
+}
+
+// Count returns the recorded access count for addr, or zero if absent.
+func (h *HotAddrCache) Count(addr uint32) uint64 {
+	set := h.sets[addr&h.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			return set[i].count
+		}
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package core
+
+// The RD-queue and HD-queue (§V-B) are priority queues over duplication
+// candidates. Priorities change as shadows are created (Fig. 4), so the
+// heaps use lazy deletion: a candidate re-queued at a new priority bumps
+// its stamp, and nodes carrying an old stamp are discarded at pop time.
+
+type heapKind uint8
+
+const (
+	byLevel heapKind = iota // RD-queue: deepest effective level first
+	byCount                 // HD-queue: highest access count first
+)
+
+type heapNode struct {
+	c     *candidate
+	stamp uint32
+	prio  int64
+}
+
+// stale reports whether n was superseded by a re-queue of its candidate in
+// this heap.
+func (h *candHeap) stale(n heapNode) bool {
+	if h.kind == byLevel {
+		return n.stamp != n.c.rdStamp
+	}
+	return n.stamp != n.c.hdStamp
+}
+
+// rdPrio orders by effective level (deepest first), breaking ties by
+// eviction order — the block loaded/evicted later wins, matching the
+// paper's Fig. 4 footnote about intra-bucket order.
+func rdPrio(c *candidate) int64 { return int64(c.effLevel)<<32 | int64(c.seq) }
+
+// hdPrio orders by Hot Address Cache count, same tie-break.
+func hdPrio(c *candidate) int64 { return int64(c.count)<<20 | int64(c.seq) }
+
+// candHeap is a max-heap of heapNodes.
+type candHeap struct {
+	kind  heapKind
+	nodes []heapNode
+}
+
+func (h *candHeap) push(n heapNode) {
+	h.nodes = append(h.nodes, n)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.nodes[parent].prio >= h.nodes[i].prio {
+			break
+		}
+		h.nodes[parent], h.nodes[i] = h.nodes[i], h.nodes[parent]
+		i = parent
+	}
+}
+
+func (h *candHeap) pop() heapNode {
+	top := h.nodes[0]
+	last := len(h.nodes) - 1
+	h.nodes[0] = h.nodes[last]
+	h.nodes = h.nodes[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.nodes[l].prio > h.nodes[big].prio {
+			big = l
+		}
+		if r < last && h.nodes[r].prio > h.nodes[big].prio {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.nodes[i], h.nodes[big] = h.nodes[big], h.nodes[i]
+		i = big
+	}
+	return top
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapPopsInPriorityOrder(t *testing.T) {
+	f := func(prios []int64) bool {
+		h := candHeap{kind: byLevel}
+		cands := make([]*candidate, len(prios))
+		for i, p := range prios {
+			c := &candidate{rdStamp: 1}
+			cands[i] = c
+			h.push(heapNode{c: c, stamp: 1, prio: p})
+		}
+		var got []int64
+		for len(h.nodes) > 0 {
+			got = append(got, h.pop().prio)
+		}
+		want := append([]int64(nil), prios...)
+		sort.Slice(want, func(i, j int) bool { return want[i] > want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapStaleness(t *testing.T) {
+	h := candHeap{kind: byLevel}
+	c := &candidate{rdStamp: 1}
+	h.push(heapNode{c: c, stamp: 1, prio: 10})
+	// Re-queue at a new priority: the old node becomes stale.
+	c.rdStamp++
+	h.push(heapNode{c: c, stamp: 2, prio: 5})
+	live := 0
+	for len(h.nodes) > 0 {
+		n := h.pop()
+		if !h.stale(n) {
+			live++
+			if n.prio != 5 {
+				t.Fatalf("live node has stale priority %d", n.prio)
+			}
+		}
+	}
+	if live != 1 {
+		t.Fatalf("live nodes = %d, want 1", live)
+	}
+}
+
+func TestHeapStalenessIsPerQueue(t *testing.T) {
+	rd := candHeap{kind: byLevel}
+	hd := candHeap{kind: byCount}
+	c := &candidate{rdStamp: 3, hdStamp: 8}
+	if rd.stale(heapNode{c: c, stamp: 3}) {
+		t.Fatal("fresh RD node reported stale")
+	}
+	if !rd.stale(heapNode{c: c, stamp: 8}) {
+		t.Fatal("RD staleness leaked the HD stamp")
+	}
+	if hd.stale(heapNode{c: c, stamp: 8}) {
+		t.Fatal("fresh HD node reported stale")
+	}
+}
+
+func TestPriorityComposition(t *testing.T) {
+	// Deeper level always outranks any sequence tie-break.
+	deep := &candidate{effLevel: 10, seq: 0}
+	shallow := &candidate{effLevel: 9, seq: 1 << 20}
+	if rdPrio(deep) <= rdPrio(shallow) {
+		t.Fatal("sequence outranked level in the RD queue")
+	}
+	// Later eviction wins ties (the paper's intra-bucket order rule).
+	a := &candidate{effLevel: 10, seq: 1}
+	b := &candidate{effLevel: 10, seq: 2}
+	if rdPrio(b) <= rdPrio(a) {
+		t.Fatal("earlier eviction outranked later at equal level")
+	}
+	hot := &candidate{count: 5, seq: 0}
+	cold := &candidate{count: 4, seq: 1 << 19}
+	if hdPrio(hot) <= hdPrio(cold) {
+		t.Fatal("sequence outranked count in the HD queue")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"shadowblock/internal/oram"
+	"shadowblock/internal/rng"
+)
+
+// TestInvariantMatrix sweeps the controller's feature matrix — treetop
+// caching, XOR compression, timing protection, recursive posmap, functional
+// payloads — under every duplication mode, checking the full structural
+// invariants after a randomized workload. This is the widest net for
+// interaction bugs between features.
+func TestInvariantMatrix(t *testing.T) {
+	type variant struct {
+		name string
+		mut  func(*oram.Config)
+	}
+	variants := []variant{
+		{"base", func(*oram.Config) {}},
+		{"treetop", func(c *oram.Config) { c.TreetopLevels = 3 }},
+		{"xor", func(c *oram.Config) { c.XOR = true }},
+		{"tp", func(c *oram.Config) { c.TimingProtection = true; c.RequestRate = 600 }},
+		{"recursive", func(c *oram.Config) { c.OnChipPosMapEntries = 64 }},
+		{"functional", func(c *oram.Config) { c.Functional = true }},
+		{"kitchen-sink", func(c *oram.Config) {
+			c.TreetopLevels = 2
+			c.TimingProtection = true
+			c.RequestRate = 700
+			c.OnChipPosMapEntries = 64
+			c.Functional = true
+		}},
+	}
+	policies := []Config{RDOnly(), HDOnly(), Static(3), Dynamic(3)}
+
+	for _, v := range variants {
+		for _, pc := range policies {
+			v, pc := v, pc
+			t.Run(fmt.Sprintf("%s/%s", v.name, pc.Mode), func(t *testing.T) {
+				t.Parallel()
+				cfg := oram.Default()
+				cfg.L = 8
+				cfg.StashCapacity = 120
+				v.mut(&cfg)
+				ctrl, _, err := New(cfg, pc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.NewXoshiro(97)
+				space := uint64(ctrl.NumDataBlocks())
+				now := int64(0)
+				for i := 0; i < 250; i++ {
+					var a uint32
+					if i%4 == 0 {
+						a = uint32(r.Uint64n(32))
+					} else {
+						a = uint32(r.Uint64n(space))
+					}
+					out := ctrl.Request(now, a, r.Float64() < 0.3)
+					now = out.Forward + int64(r.Uint64n(900))
+				}
+				if err := ctrl.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				st := ctrl.Stats()
+				if st.StashOverflows != 0 || st.Anomalies != 0 {
+					t.Fatalf("overflows=%d anomalies=%d", st.StashOverflows, st.Anomalies)
+				}
+			})
+		}
+	}
+}

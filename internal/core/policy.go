@@ -1,0 +1,413 @@
+// Package core implements the paper's contribution: the shadow-block
+// duplication engine (§IV–§V). It plugs into the Tiny ORAM controller
+// through the oram.DupPolicy interface and decides, for every free (dummy)
+// slot of a path write, which recently evicted block to duplicate:
+//
+//   - RD-Dup (Rear Data Duplication) duplicates the block that was placed
+//     deepest — the one whose data would otherwise arrive last in a future
+//     path read — promoting its effective level upward slot by slot
+//     (Fig. 4: once duplicated, a block's priority becomes its shadow's
+//     level).
+//   - HD-Dup (Hot Data Duplication) duplicates the block with the highest
+//     Hot Address Cache count, preferring near-root slots that every future
+//     path read loads, so hot data keeps landing in the stash.
+//
+// A partitioning level P splits the tree: levels < P (root side) use
+// HD-Dup and levels >= P use RD-Dup; raising P gives HD-Dup more slots
+// (§IV-D and Fig. 9's sweep). Dynamic partitioning adjusts P with a
+// saturating DRI counter fed by the real/dummy request pattern.
+package core
+
+import (
+	"fmt"
+
+	"shadowblock/internal/block"
+	"shadowblock/internal/cache"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/stash"
+	"shadowblock/internal/tree"
+)
+
+// Mode selects the duplication scheme.
+type Mode int
+
+// Duplication modes: the pure schemes, and their static/dynamic partition
+// combinations.
+const (
+	// ModeRD uses RD-Dup on every level (partition level 0).
+	ModeRD Mode = iota
+	// ModeHD uses HD-Dup on every level (partition level L+1).
+	ModeHD
+	// ModeStatic splits at a fixed PartitionLevel.
+	ModeStatic
+	// ModeDynamic adjusts the partition level with the DRI counter.
+	ModeDynamic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeRD:
+		return "rd-dup"
+	case ModeHD:
+		return "hd-dup"
+	case ModeStatic:
+		return "static"
+	case ModeDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterises the policy.
+type Config struct {
+	Mode           Mode
+	PartitionLevel int // ModeStatic: levels < P use HD-Dup, >= P use RD-Dup
+	DRICounterBits int // ModeDynamic: saturating counter width (paper: 3)
+	HotEntries     int // Hot Address Cache entries (paper: 1 KB ~ 128)
+	HotWays        int
+}
+
+// Static returns a static-partition configuration at level p.
+func Static(p int) Config {
+	return Config{Mode: ModeStatic, PartitionLevel: p, HotEntries: 128, HotWays: 4}
+}
+
+// Dynamic returns a dynamic-partition configuration with the given counter
+// width.
+func Dynamic(bits int) Config {
+	return Config{Mode: ModeDynamic, DRICounterBits: bits, HotEntries: 128, HotWays: 4}
+}
+
+// RDOnly returns the pure RD-Dup configuration.
+func RDOnly() Config { return Config{Mode: ModeRD, HotEntries: 128, HotWays: 4} }
+
+// HDOnly returns the pure HD-Dup configuration.
+func HDOnly() Config { return Config{Mode: ModeHD, HotEntries: 128, HotWays: 4} }
+
+// Validate reports configuration errors (geometry-dependent checks happen
+// at bind time).
+func (c Config) Validate() error {
+	switch {
+	case c.Mode < ModeRD || c.Mode > ModeDynamic:
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	case c.Mode == ModeStatic && c.PartitionLevel < 0:
+		return fmt.Errorf("core: negative partition level")
+	case c.Mode == ModeDynamic && (c.DRICounterBits < 1 || c.DRICounterBits > 16):
+		return fmt.Errorf("core: DRI counter width %d outside [1,16]", c.DRICounterBits)
+	case c.HotEntries < 1 || c.HotWays < 1:
+		return fmt.Errorf("core: bad Hot Address Cache geometry")
+	}
+	return nil
+}
+
+// candidate tracks one duplicable block during a path write.
+type candidate struct {
+	addr     uint32
+	label    uint32
+	srcLevel int    // the real copy's tree level: Rule-2 bound
+	effLevel int    // shallowest copy so far: RD-Dup priority
+	count    uint64 // Hot Address Cache count: HD-Dup priority
+	seq      int    // eviction order (later = higher tie-break priority)
+	rdStamp  uint32 // lazy-deletion stamps for the two queues
+	hdStamp  uint32
+}
+
+// Policy implements oram.DupPolicy.
+type Policy struct {
+	cfg Config
+	geo tree.Geometry
+	st  *stash.Stash
+	hac *cache.HotAddrCache
+
+	partition  int
+	counter    uint32
+	counterMax uint32
+	prevReal   bool
+	havePrev   bool
+
+	// Per-path-write state (the paper's RD-queue and HD-queue, cleared
+	// after each write).
+	cands map[uint32]*candidate
+	rd    candHeap
+	hd    candHeap
+	seq   int
+	tmp   []heapNode
+
+	// Statistics.
+	rdShadows, hdShadows uint64
+	partitionSum         uint64
+	partitionSamples     uint64
+}
+
+var _ oram.DupPolicy = (*Policy)(nil)
+
+// New builds a shadow-block ORAM: a controller whose path writes fill dummy
+// slots through this policy.
+func New(ocfg oram.Config, pcfg Config) (*oram.Controller, *Policy, error) {
+	p, err := newUnbound(pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl, err := oram.New(ocfg, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.bind(ctrl.Geometry(), ctrl.Stash())
+	return ctrl, p, nil
+}
+
+// NewPolicy builds a standalone policy bound to an existing geometry and
+// stash, for controllers other than the Tiny ORAM one (e.g. Ring ORAM,
+// which the paper notes is equally amenable to shadow blocks).
+func NewPolicy(pcfg Config, geo tree.Geometry, st *stash.Stash) (*Policy, error) {
+	p, err := newUnbound(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	p.bind(geo, st)
+	return p, nil
+}
+
+func newUnbound(pcfg Config) (*Policy, error) {
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Policy{
+		cfg:   pcfg,
+		hac:   cache.NewHotAddrCache(pcfg.HotEntries, pcfg.HotWays),
+		cands: make(map[uint32]*candidate),
+		rd:    candHeap{kind: byLevel},
+		hd:    candHeap{kind: byCount},
+	}, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(ocfg oram.Config, pcfg Config) (*oram.Controller, *Policy) {
+	c, p, err := New(ocfg, pcfg)
+	if err != nil {
+		panic(err)
+	}
+	return c, p
+}
+
+func (p *Policy) bind(geo tree.Geometry, st *stash.Stash) {
+	p.geo = geo
+	p.st = st
+	switch p.cfg.Mode {
+	case ModeRD:
+		p.partition = 0
+	case ModeHD:
+		p.partition = geo.L + 1
+	case ModeStatic:
+		p.partition = minInt(p.cfg.PartitionLevel, geo.L+1)
+	case ModeDynamic:
+		p.partition = (geo.L + 1) / 2
+		p.counterMax = 1<<uint(p.cfg.DRICounterBits) - 1
+		p.counter = (p.counterMax + 1) / 2
+	}
+}
+
+// Partition returns the current partitioning level (levels below it use
+// HD-Dup).
+func (p *Policy) Partition() int { return p.partition }
+
+// ShadowCounts returns how many shadows each scheme has created.
+func (p *Policy) ShadowCounts() (rd, hd uint64) { return p.rdShadows, p.hdShadows }
+
+// MeanPartition returns the request-weighted average partition level (used
+// by the dynamic-partitioning experiments).
+func (p *Policy) MeanPartition() float64 {
+	if p.partitionSamples == 0 {
+		return float64(p.partition)
+	}
+	return float64(p.partitionSum) / float64(p.partitionSamples)
+}
+
+// BeginPathWrite implements oram.DupPolicy: it seeds the RD/HD queues with
+// the stash's resident shadow blocks (§V-B: "shadow blocks in the stash,
+// which can be evicted, are also inserted into the queues").
+func (p *Policy) BeginPathWrite(uint32) {
+	p.reset()
+	p.st.ForEachShadow(func(e stash.Entry) {
+		c := &candidate{
+			addr:     e.Meta.Addr,
+			label:    e.Meta.Label,
+			srcLevel: int(e.Meta.SrcLevel),
+			effLevel: int(e.Meta.SrcLevel),
+			count:    p.hac.Count(e.Meta.Addr),
+			seq:      p.seq,
+		}
+		p.seq++
+		p.cands[c.addr] = c
+		p.push(c)
+	})
+}
+
+func (p *Policy) reset() {
+	for k := range p.cands {
+		delete(p.cands, k)
+	}
+	p.rd.nodes = p.rd.nodes[:0]
+	p.hd.nodes = p.hd.nodes[:0]
+	p.seq = 0
+}
+
+func (p *Policy) push(c *candidate) {
+	c.rdStamp++
+	p.rd.push(heapNode{c: c, stamp: c.rdStamp, prio: rdPrio(c)})
+	c.hdStamp++
+	p.hd.push(heapNode{c: c, stamp: c.hdStamp, prio: hdPrio(c)})
+}
+
+// NoteEvict implements oram.DupPolicy. Real placements create candidates;
+// shadow placements (including the ones SelectDup just made) update the
+// candidate's effective level and decay its HD priority so other hot blocks
+// get their turn.
+func (p *Policy) NoteEvict(m block.Meta, level int) {
+	switch m.Kind {
+	case block.Real:
+		c := p.cands[m.Addr]
+		if c == nil {
+			c = &candidate{addr: m.Addr}
+			p.cands[m.Addr] = c
+		}
+		c.label = m.Label
+		c.srcLevel = level
+		c.effLevel = level
+		c.count = p.hac.Count(m.Addr)
+		c.seq = p.seq
+		p.seq++
+		p.push(c)
+	case block.Shadow:
+		c := p.cands[m.Addr]
+		if c == nil {
+			return
+		}
+		if level < c.effLevel {
+			c.effLevel = level
+			c.rdStamp++
+			p.rd.push(heapNode{c: c, stamp: c.rdStamp, prio: rdPrio(c)})
+		}
+		c.count >>= 1
+		c.hdStamp++
+		p.hd.push(heapNode{c: c, stamp: c.hdStamp, prio: hdPrio(c)})
+	}
+}
+
+// SelectDup implements oram.DupPolicy: pick the duplication candidate for
+// the free slot at the given level of path-leaf, honouring the partition
+// and Rules 1–2.
+func (p *Policy) SelectDup(leaf uint32, level int) (block.Meta, bool) {
+	useHD := level < p.partition
+	h := &p.rd
+	if useHD {
+		h = &p.hd
+	}
+	c := p.popValid(h, leaf, level, useHD)
+	if c == nil {
+		return block.Meta{}, false
+	}
+	m := block.Meta{
+		Kind:     block.Shadow,
+		Addr:     c.addr,
+		Label:    c.label,
+		SrcLevel: uint8(c.srcLevel),
+	}
+	if useHD {
+		p.hdShadows++
+	} else {
+		p.rdShadows++
+	}
+	return m, true
+}
+
+// popValid pops candidates until one satisfies the rules at (leaf, level):
+// Rule-1 — the candidate's label must pass through this bucket; Rule-2 —
+// the slot must be strictly above the real copy; and, for RD-Dup, the slot
+// must actually improve the candidate's effective level. Rejected
+// candidates are kept for shallower slots.
+func (p *Policy) popValid(h *candHeap, leaf uint32, level int, useHD bool) *candidate {
+	p.tmp = p.tmp[:0]
+	var chosen *candidate
+	for len(h.nodes) > 0 {
+		n := h.pop()
+		if h.stale(n) {
+			continue
+		}
+		c := n.c
+		// HD-Dup accepts zero-count candidates (the paper initialises
+		// absent addresses to priority zero); RD-Dup additionally demands
+		// the slot improve the candidate's effective arrival level.
+		if level < c.srcLevel &&
+			(useHD || level < c.effLevel) &&
+			p.geo.IntersectLevel(c.label, leaf) >= level {
+			chosen = c
+			// The chosen node is consumed; NoteEvict will re-stamp and
+			// re-queue the candidate at its new priority.
+			break
+		}
+		p.tmp = append(p.tmp, n)
+	}
+	for _, n := range p.tmp {
+		h.push(n)
+	}
+	return chosen
+}
+
+// EndPathWrite implements oram.DupPolicy: both queues are cleared after the
+// path write completes (§V-B).
+func (p *Policy) EndPathWrite() { p.reset() }
+
+// NoteLLCMiss implements oram.DupPolicy: feed the Hot Address Cache.
+func (p *Policy) NoteLLCMiss(addr uint32) {
+	if p.cfg.Mode != ModeRD {
+		p.hac.Touch(addr)
+	}
+}
+
+// NoteORAMRequest implements oram.DupPolicy: the DRI counter of §IV-D.
+// A real request following a real request means a short interval (HD-Dup
+// territory, counter down); a dummy following a real means the interval
+// overran a slot (RD-Dup territory, counter up). The partition level then
+// steps toward the scheme the counter favours.
+func (p *Policy) NoteORAMRequest(dummy bool) {
+	if p.cfg.Mode != ModeDynamic {
+		return
+	}
+	if p.havePrev && p.prevReal {
+		if dummy {
+			if p.counter < p.counterMax {
+				p.counter++
+			}
+		} else if p.counter > 0 {
+			p.counter--
+		}
+	}
+	p.prevReal = !dummy
+	p.havePrev = true
+
+	if p.counter < (p.counterMax+1)/2 {
+		if p.partition < p.geo.L+1 {
+			p.partition++
+		}
+	} else if p.partition > 0 {
+		p.partition--
+	}
+	p.partitionSum += uint64(p.partition)
+	p.partitionSamples++
+}
+
+// ShadowPriority implements oram.DupPolicy: the Hot Address Cache count
+// ranks shadows for stash retention.
+func (p *Policy) ShadowPriority(addr uint32) uint64 {
+	return p.hac.Count(addr)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

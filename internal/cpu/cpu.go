@@ -1,0 +1,214 @@
+// Package cpu provides the trace-driven processor models of Table I: a
+// single in-order core, and the quad-core out-of-order configuration of
+// [19] approximated as multiple interleaved trace streams with bounded
+// memory-level parallelism. Each core owns an L1; all cores share the L2
+// (the LLC); L2 misses go to the memory system under test.
+package cpu
+
+import (
+	"fmt"
+
+	"shadowblock/internal/cache"
+	"shadowblock/internal/trace"
+)
+
+// Memory is the backing system (an ORAM controller or the insecure DRAM
+// baseline). Request serves a block-granularity LLC miss presented at
+// cycle now and returns when the data reaches the core (forward) and when
+// the memory system is free again (done).
+type Memory interface {
+	Request(now int64, blockAddr uint32, write bool) (forward, done int64)
+}
+
+// Config describes the processor.
+type Config struct {
+	Cores int
+	OOO   bool
+	MLP   int // outstanding LLC misses per core (1 for in-order)
+
+	L1Bytes, L1Ways int
+	L2Bytes, L2Ways int
+	LineBytes       int
+	L1Latency       int64
+	L2Latency       int64
+}
+
+// InOrder returns Table I's in-order single-core Alpha configuration.
+func InOrder() Config {
+	return Config{
+		Cores: 1, MLP: 1,
+		L1Bytes: 32 << 10, L1Ways: 2,
+		L2Bytes: 1 << 20, L2Ways: 8,
+		LineBytes: 64, L1Latency: 1, L2Latency: 10,
+	}
+}
+
+// O3 returns the quad-core out-of-order configuration of [19]: four
+// 8-way-issue cores sharing the 1 MB L2.
+func O3() Config {
+	return Config{
+		Cores: 4, OOO: true, MLP: 8,
+		L1Bytes: 32 << 10, L1Ways: 2,
+		L2Bytes: 1 << 20, L2Ways: 8,
+		LineBytes: 64, L1Latency: 1, L2Latency: 10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1 || c.Cores > 64:
+		return fmt.Errorf("cpu: cores=%d outside [1,64]", c.Cores)
+	case c.MLP < 1:
+		return fmt.Errorf("cpu: MLP must be >= 1")
+	case c.LineBytes < 8:
+		return fmt.Errorf("cpu: line size %d too small", c.LineBytes)
+	}
+	return nil
+}
+
+// Result summarises one run.
+type Result struct {
+	Cycles     int64 // completion time of the last reference
+	References uint64
+	L1Hits     uint64
+	L2Hits     uint64
+	LLCMisses  uint64
+	Writebacks uint64
+}
+
+type coreState struct {
+	trace       []trace.Access
+	idx         int
+	ready       int64   // when the core can consider its next reference
+	lastForward int64   // data-return time of the most recent miss
+	outstanding []int64 // forward times of in-flight misses (OOO)
+	l1          *cache.Cache
+}
+
+// Run plays one trace per core against mem and returns aggregate counters.
+// Cores interleave by readiness; the shared memory system serialises their
+// misses naturally.
+func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(traces) != cfg.Cores {
+		return Result{}, fmt.Errorf("cpu: %d traces for %d cores", len(traces), cfg.Cores)
+	}
+	l2, err := cache.New(cfg.L2Bytes, cfg.LineBytes, cfg.L2Ways)
+	if err != nil {
+		return Result{}, err
+	}
+	cores := make([]*coreState, cfg.Cores)
+	for i := range cores {
+		l1, err := cache.New(cfg.L1Bytes, cfg.LineBytes, cfg.L1Ways)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[i] = &coreState{trace: traces[i], l1: l1}
+	}
+
+	var res Result
+	var last int64
+	for {
+		// Pick the ready core with work remaining.
+		var c *coreState
+		for _, cs := range cores {
+			if cs.idx >= len(cs.trace) {
+				continue
+			}
+			if c == nil || cs.ready < c.ready {
+				c = cs
+			}
+		}
+		if c == nil {
+			break
+		}
+		acc := c.trace[c.idx]
+		c.idx++
+		res.References++
+
+		now := c.ready + int64(acc.Gap)
+		if acc.Dep {
+			now = max64(now, c.lastForward)
+		}
+
+		lineAddr := uint64(acc.Block) * uint64(cfg.LineBytes)
+		if acc.NonTemporal {
+			// Non-temporal accesses probe the caches but never allocate.
+			if c.l1.Hit(lineAddr) {
+				res.L1Hits++
+				c.ready = now + cfg.L1Latency
+				last = max64(last, c.ready)
+				continue
+			}
+			now += cfg.L1Latency
+			if l2.Hit(lineAddr) {
+				res.L2Hits++
+				c.ready = now + cfg.L2Latency
+				last = max64(last, c.ready)
+				continue
+			}
+			now += cfg.L2Latency
+			res.LLCMisses++
+		} else {
+			if hit, _, _, _ := c.l1.Access(lineAddr, acc.Write); hit {
+				res.L1Hits++
+				c.ready = now + cfg.L1Latency
+				last = max64(last, c.ready)
+				continue
+			}
+			now += cfg.L1Latency
+			hit, victim, dirty, evicted := l2.Access(lineAddr, acc.Write)
+			if hit {
+				res.L2Hits++
+				c.ready = now + cfg.L2Latency
+				last = max64(last, c.ready)
+				continue
+			}
+			now += cfg.L2Latency
+			res.LLCMisses++
+			if evicted && dirty {
+				// Dirty LLC victims flow back to memory as write requests;
+				// the core does not stall on them but the memory system is
+				// busy.
+				res.Writebacks++
+				mem.Request(now, uint32(victim/uint64(cfg.LineBytes)), true)
+			}
+		}
+
+		if cfg.OOO {
+			// Bounded MLP: wait for the oldest miss when the window is full.
+			if len(c.outstanding) >= cfg.MLP {
+				now = max64(now, c.outstanding[0])
+				c.outstanding = c.outstanding[1:]
+			}
+			forward, _ := mem.Request(now, acc.Block, acc.Write)
+			c.outstanding = append(c.outstanding, forward)
+			c.lastForward = forward
+			c.ready = now // issue more work while the miss is in flight
+			last = max64(last, forward)
+		} else {
+			forward, _ := mem.Request(now, acc.Block, acc.Write)
+			c.lastForward = forward
+			c.ready = forward
+			last = max64(last, forward)
+		}
+	}
+	// Drain outstanding misses.
+	for _, cs := range cores {
+		for _, f := range cs.outstanding {
+			last = max64(last, f)
+		}
+	}
+	res.Cycles = last
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(bytes.Repeat([]byte{7}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRoundTrip(t *testing.T) {
+	e := newEngine(t)
+	f := func(pt []byte) bool {
+		ct := e.Encrypt(pt)
+		got, err := e.Decrypt(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilisticCiphertexts(t *testing.T) {
+	e := newEngine(t)
+	pt := bytes.Repeat([]byte{0xAB}, 64)
+	a := e.Encrypt(pt)
+	b := e.Encrypt(pt)
+	if bytes.Equal(a, b) {
+		t.Fatal("re-encrypting the same plaintext produced an identical ciphertext")
+	}
+}
+
+func TestBadKeyRejected(t *testing.T) {
+	if _, err := NewEngine([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestShortCiphertextRejected(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}

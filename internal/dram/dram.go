@@ -1,0 +1,236 @@
+// Package dram is a bank-state DDR3 timing model in the spirit of DRAMSim2,
+// reduced to what an ORAM path access exercises: row-buffer hits and misses,
+// bank-level parallelism, per-channel data-bus contention, and the
+// activate-to-precharge window.
+//
+// All times are in CPU cycles. The default configuration models DDR3-1333
+// under a 2 GHz core (1 memory cycle = 3 CPU cycles), matching Table I of
+// the paper (DDR3-1333, 2 channels, 21.3 GB/s peak).
+package dram
+
+import "fmt"
+
+// Config holds the organisation and timing of the memory system.
+// Timing fields are in CPU cycles.
+type Config struct {
+	Channels        int // independent channels, each with its own data bus
+	BanksPerChannel int // banks ganged per channel (rank*banks flattened)
+	RowBytes        int // row-buffer (page) size per bank
+
+	TRCD   int64 // activate -> column command
+	TCL    int64 // column read -> first data
+	TRP    int64 // precharge period
+	TRAS   int64 // activate -> precharge minimum
+	TBURST int64 // data burst occupancy on the bus (BL8)
+	TCCD   int64 // column command -> column command, same bank
+	TWR    int64 // write recovery before precharge
+}
+
+// DDR3_1333 returns the default DDR3-1333 configuration for a 2 GHz core:
+// 9-9-9 at 666 MHz memory clock = 27 CPU cycles each, BL8 burst = 12 cycles.
+func DDR3_1333() Config {
+	return Config{
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		TRCD:            27,
+		TCL:             27,
+		TRP:             27,
+		TRAS:            72,
+		TBURST:          12,
+		TCCD:            12,
+		TWR:             45,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("dram: Channels = %d must be positive", c.Channels)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram: BanksPerChannel = %d must be positive", c.BanksPerChannel)
+	case c.RowBytes <= 0:
+		return fmt.Errorf("dram: RowBytes = %d must be positive", c.RowBytes)
+	case c.TRCD <= 0 || c.TCL <= 0 || c.TRP <= 0 || c.TBURST <= 0:
+		return fmt.Errorf("dram: timing parameters must be positive")
+	}
+	return nil
+}
+
+type bank struct {
+	openRow    int64 // -1 when precharged
+	readyAt    int64 // earliest next column command
+	activateAt int64 // time of last activate (for tRAS)
+	writeEnd   int64 // end of the last write burst (for tWR before precharge)
+}
+
+type channel struct {
+	busFreeAt int64
+	banks     []bank
+}
+
+// Stats accumulates observable memory-system activity, used by the energy
+// model and the evaluation.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	Activates uint64
+}
+
+// Memory is the stateful timing model.
+type Memory struct {
+	cfg      Config
+	channels []channel
+	stats    Stats
+}
+
+// New builds a Memory from cfg. It panics on invalid configuration; use
+// Config.Validate to pre-check untrusted values.
+func New(cfg Config) *Memory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Memory{cfg: cfg, channels: make([]channel, cfg.Channels)}
+	for i := range m.channels {
+		m.channels[i].banks = make([]bank, cfg.BanksPerChannel)
+		for b := range m.channels[i].banks {
+			m.channels[i].banks[b].openRow = -1
+		}
+	}
+	return m
+}
+
+// Config returns the configuration the memory was built with.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// mapAddr decomposes a physical byte address. Rows are interleaved across
+// channels first and banks second, so that consecutive subtrees of the ORAM
+// layout land on different channels/banks and a path access enjoys
+// bank-level parallelism.
+func (m *Memory) mapAddr(addr uint64) (ch, bk int, row int64) {
+	rowIdx := addr / uint64(m.cfg.RowBytes)
+	ch = int(rowIdx % uint64(m.cfg.Channels))
+	rest := rowIdx / uint64(m.cfg.Channels)
+	bk = int(rest % uint64(m.cfg.BanksPerChannel))
+	row = int64(rest / uint64(m.cfg.BanksPerChannel))
+	return ch, bk, row
+}
+
+// Access models one block transfer beginning no earlier than now and
+// returns its completion cycle. transferOnBus=false models operations whose
+// data never crosses the processor bus (used by the XOR-compression
+// comparator, where the DRAM-internal reads still happen but only the XOR
+// result is shipped).
+func (m *Memory) Access(now int64, addr uint64, write, transferOnBus bool) int64 {
+	ch, bk, row := m.mapAddr(addr)
+	c := &m.channels[ch]
+	b := &c.banks[bk]
+
+	t := max64(now, b.readyAt)
+	if b.openRow != row {
+		if b.openRow != -1 {
+			// Precharge may not begin before tRAS from the activate, nor
+			// before write recovery of the last write burst completes.
+			t = max64(t, b.activateAt+m.cfg.TRAS)
+			t = max64(t, b.writeEnd+m.cfg.TWR)
+			t += m.cfg.TRP
+		}
+		b.activateAt = t
+		t += m.cfg.TRCD
+		b.openRow = row
+		m.stats.Activates++
+		m.stats.RowMisses++
+	} else {
+		m.stats.RowHits++
+	}
+
+	// Column command at t, data after CAS latency, serialised on the bus.
+	dataStart := t + m.cfg.TCL
+	if transferOnBus {
+		dataStart = max64(dataStart, c.busFreeAt)
+	}
+	done := dataStart + m.cfg.TBURST
+
+	if transferOnBus {
+		c.busFreeAt = done
+	}
+	// Column commands to an open row pipeline at tCCD for reads and writes
+	// alike (CAS latency overlaps with the next command); tWR only gates a
+	// later precharge.
+	b.readyAt = t + m.cfg.TCCD
+	if write {
+		b.writeEnd = done
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	return done
+}
+
+// Read models a block read; see Access.
+func (m *Memory) Read(now int64, addr uint64) int64 {
+	return m.Access(now, addr, false, true)
+}
+
+// Write models a block write; see Access.
+func (m *Memory) Write(now int64, addr uint64) int64 {
+	return m.Access(now, addr, true, true)
+}
+
+// ReadBatch issues reads for addrs in order starting at now, filling done
+// (which must be len(addrs)) with per-block completion cycles, and returns
+// the completion of the whole batch. This is the shape of an ORAM path
+// read: the per-block completion times are exactly what shadow blocks
+// exploit.
+func (m *Memory) ReadBatch(now int64, addrs []uint64, done []int64) int64 {
+	var finish int64
+	for i, a := range addrs {
+		d := m.Read(now, a)
+		done[i] = d
+		if d > finish {
+			finish = d
+		}
+	}
+	return finish
+}
+
+// ReadBatchOffBus is ReadBatch for XOR compression: the DRAM-internal
+// reads happen but only one XOR-ed block crosses the processor bus at the
+// end, so per-block transfers skip the bus and the result ships in a
+// single burst.
+func (m *Memory) ReadBatchOffBus(now int64, addrs []uint64, done []int64) int64 {
+	var finish int64
+	for i, a := range addrs {
+		d := m.Access(now, a, false, false)
+		done[i] = d
+		if d > finish {
+			finish = d
+		}
+	}
+	return finish + m.cfg.TBURST
+}
+
+// WriteBatch issues writes for addrs in order starting at now and returns
+// the completion cycle of the last one.
+func (m *Memory) WriteBatch(now int64, addrs []uint64) int64 {
+	var finish int64
+	for _, a := range addrs {
+		if d := m.Write(now, a); d > finish {
+			finish = d
+		}
+	}
+	return finish
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

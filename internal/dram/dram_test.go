@@ -1,0 +1,183 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DDR3_1333().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Channels: 1},
+		{Channels: 1, BanksPerChannel: 8},
+		{Channels: 1, BanksPerChannel: 8, RowBytes: 8192},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	// First access to a row: miss (activate).
+	first := m.Read(0, 0)
+	// Same row, later: hit.
+	hit := m.Read(first, 64) - first
+	// A different row in the same bank: precharge + activate.
+	rowStride := uint64(cfg.RowBytes * cfg.Channels * cfg.BanksPerChannel)
+	start := first + hit + 1000
+	miss := m.Read(start, rowStride) - start
+	if hit >= miss {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", hit, miss)
+	}
+	if hit != cfg.TCL+cfg.TBURST {
+		t.Fatalf("row hit latency = %d, want TCL+TBURST = %d", hit, cfg.TCL+cfg.TBURST)
+	}
+	st := m.Stats()
+	if st.RowHits != 1 || st.RowMisses != 2 || st.Reads != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := DDR3_1333()
+	// Two reads to different banks of one channel overlap their activates;
+	// two reads to the same bank and different rows fully serialise.
+	sameBankStride := uint64(cfg.RowBytes * cfg.Channels * cfg.BanksPerChannel)
+	diffBankStride := uint64(cfg.RowBytes * cfg.Channels)
+
+	mA := New(cfg)
+	mA.Read(0, 0)
+	parallel := mA.Read(0, diffBankStride)
+
+	mB := New(cfg)
+	mB.Read(0, 0)
+	serial := mB.Read(0, sameBankStride)
+
+	if parallel >= serial {
+		t.Fatalf("different-bank access (%d) not faster than same-bank conflict (%d)", parallel, serial)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	// Rows interleave across channels: consecutive rows use different buses.
+	a := m.Read(0, 0)
+	b := m.Read(0, uint64(cfg.RowBytes))
+	if a != b {
+		t.Fatalf("two-channel first accesses differ: %d vs %d", a, b)
+	}
+}
+
+func TestBusSerialisesSameRowReads(t *testing.T) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	first := m.Read(0, 0)
+	second := m.Read(0, 64)
+	if second < first+cfg.TBURST {
+		t.Fatalf("burst overlap on one bus: first=%d second=%d", first, second)
+	}
+}
+
+func TestXORModeSkipsBus(t *testing.T) {
+	cfg := DDR3_1333()
+	onBus := New(cfg)
+	offBus := New(cfg)
+	// Spread across the banks of one channel: the channel bus is then the
+	// bottleneck, which is exactly what XOR compression removes.
+	addrs := make([]uint64, 16)
+	for i := range addrs {
+		addrs[i] = uint64(i * cfg.RowBytes * cfg.Channels)
+	}
+	var lastOn, lastOff int64
+	for _, a := range addrs {
+		lastOn = onBus.Access(0, a, false, true)
+		lastOff = offBus.Access(0, a, false, false)
+	}
+	if lastOff >= lastOn {
+		t.Fatalf("off-bus batch (%d) not faster than on-bus (%d)", lastOff, lastOn)
+	}
+}
+
+func TestReadBatchPerBlockTimes(t *testing.T) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	addrs := []uint64{0, 64, 128, uint64(cfg.RowBytes)}
+	done := make([]int64, len(addrs))
+	finish := m.ReadBatch(100, addrs, done)
+	var maxDone int64
+	for i, d := range done {
+		if d <= 100 {
+			t.Fatalf("done[%d] = %d not after start", i, d)
+		}
+		if d > maxDone {
+			maxDone = d
+		}
+	}
+	if finish != maxDone {
+		t.Fatalf("finish = %d, max(done) = %d", finish, maxDone)
+	}
+}
+
+func TestWriteBatch(t *testing.T) {
+	m := New(DDR3_1333())
+	finish := m.WriteBatch(0, []uint64{0, 64, 128})
+	if finish <= 0 {
+		t.Fatalf("write batch finish = %d", finish)
+	}
+	if m.Stats().Writes != 3 {
+		t.Fatalf("writes = %d", m.Stats().Writes)
+	}
+}
+
+func TestAccessMonotonicInNow(t *testing.T) {
+	cfg := DDR3_1333()
+	f := func(addr uint64, gap uint16) bool {
+		addr %= 1 << 30
+		m1 := New(cfg)
+		m2 := New(cfg)
+		d1 := m1.Read(0, addr)
+		d2 := m2.Read(int64(gap), addr)
+		// Starting later can never finish earlier.
+		return d2 >= d1 && d1 >= cfg.TCL+cfg.TBURST
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAddrCoversAllBanks(t *testing.T) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	type cb struct{ c, b int }
+	seen := make(map[cb]bool)
+	for r := 0; r < cfg.Channels*cfg.BanksPerChannel; r++ {
+		ch, bk, _ := m.mapAddr(uint64(r * cfg.RowBytes))
+		seen[cb{ch, bk}] = true
+	}
+	if len(seen) != cfg.Channels*cfg.BanksPerChannel {
+		t.Fatalf("consecutive rows cover %d bank slots, want %d", len(seen), cfg.Channels*cfg.BanksPerChannel)
+	}
+}
+
+func BenchmarkPathRead(b *testing.B) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	addrs := make([]uint64, 95) // Z=5 x 19 levels
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64 * 131
+	}
+	done := make([]int64, len(addrs))
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = m.ReadBatch(now, addrs, done)
+	}
+}

@@ -1,0 +1,30 @@
+package dram
+
+import "testing"
+
+func TestReadBatchOffBusFasterAcrossBanks(t *testing.T) {
+	cfg := DDR3_1333()
+	// One channel's worth of bank-spread reads: the bus binds the on-bus
+	// batch, not the off-bus one.
+	var addrs []uint64
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, uint64(i*cfg.RowBytes*cfg.Channels))
+	}
+	done := make([]int64, len(addrs))
+	on := New(cfg).ReadBatch(0, addrs, done)
+	off := New(cfg).ReadBatchOffBus(0, addrs, done)
+	if off >= on {
+		t.Fatalf("off-bus batch (%d) not faster than on-bus (%d)", off, on)
+	}
+}
+
+func TestReadBatchOffBusShipsOneBurst(t *testing.T) {
+	cfg := DDR3_1333()
+	m := New(cfg)
+	addrs := []uint64{0}
+	done := make([]int64, 1)
+	fin := m.ReadBatchOffBus(0, addrs, done)
+	if fin != done[0]+cfg.TBURST {
+		t.Fatalf("finish %d != last block %d + one burst %d", fin, done[0], cfg.TBURST)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// PartitionSweep reproduces Fig. 9 (no timing protection) and Fig. 14
+// (with): static partitioning swept across levels, reporting normalised
+// DRI, data-access time and total per level for three representative
+// benchmarks and the all-workload geometric mean.
+type PartitionSweep struct {
+	TimingProtection bool
+	Levels           []int
+	// Per series: normalised [interval, data, total] per level.
+	Series map[string][][3]float64
+	// BestLevel minimises the gmean total.
+	BestLevel int
+	BestTotal float64
+}
+
+// Fig09 sweeps static partition levels without timing protection.
+func Fig09(r Runner) (*PartitionSweep, error) { return partitionSweep(r, false) }
+
+// Fig14 sweeps static partition levels with timing protection.
+func Fig14(r Runner) (*PartitionSweep, error) { return partitionSweep(r, true) }
+
+func partitionSweep(r Runner, tp bool) (*PartitionSweep, error) {
+	// Levels 0, 2, 4, ... L (the paper plots 0..24 in steps of 4; the
+	// scaled tree has L=18).
+	var levels []int
+	for lv := 0; lv <= 19; lv += 2 {
+		levels = append(levels, lv)
+	}
+	schemes := []Scheme{schemeTiny(tp)}
+	for _, lv := range levels {
+		schemes = append(schemes, schemePolicy(fmt.Sprintf("static-%d", lv), tp, core.Static(lv)))
+	}
+	m, err := r.RunMatrix(cpu.InOrder(), schemes)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PartitionSweep{TimingProtection: tp, Levels: levels, Series: map[string][][3]float64{}}
+	picks := map[string]bool{"sjeng": true, "h264ref": true, "namd": true}
+	totals := make([][]float64, len(levels)) // [level][workload] totals for gmean
+	for i := range totals {
+		totals[i] = make([]float64, len(r.Workloads))
+	}
+	for w, p := range r.Workloads {
+		base := float64(m[w][0].Cycles)
+		var series [][3]float64
+		for li := range levels {
+			mm := m[w][li+1]
+			v := [3]float64{
+				float64(mm.DRI) / base,
+				float64(mm.DataAccess) / base,
+				float64(mm.Cycles) / base,
+			}
+			series = append(series, v)
+			totals[li][w] = v[2]
+		}
+		if picks[p.Name] {
+			ps.Series[p.Name] = series
+		}
+	}
+	var gm [][3]float64
+	ps.BestTotal = 1e18
+	for li := range levels {
+		g := stats.Gmean(totals[li])
+		gm = append(gm, [3]float64{0, 0, g})
+		if g < ps.BestTotal {
+			ps.BestTotal = g
+			ps.BestLevel = levels[li]
+		}
+	}
+	ps.Series["gmean"] = gm
+	return ps, nil
+}
+
+// GmeanTotals returns the geometric-mean total per swept level.
+func (ps *PartitionSweep) GmeanTotals() []float64 {
+	g := ps.Series["gmean"]
+	out := make([]float64, len(g))
+	for i, v := range g {
+		out[i] = v[2]
+	}
+	return out
+}
+
+// Render produces the figure's table.
+func (ps *PartitionSweep) Render() string {
+	name := "Fig 9 (no timing protection)"
+	if ps.TimingProtection {
+		name = "Fig 14 (timing protection)"
+	}
+	t := stats.NewTable(append([]string{"series"}, levelsHeader(ps.Levels)...)...)
+	for _, s := range []string{"sjeng", "h264ref", "namd"} {
+		series, ok := ps.Series[s]
+		if !ok {
+			continue
+		}
+		for comp, label := range []string{"-interval", "-data", "-total"} {
+			vals := make([]float64, len(series))
+			for i, v := range series {
+				vals[i] = v[comp]
+			}
+			t.Rowf(s+label, "%.3f", vals...)
+		}
+	}
+	if series, ok := ps.Series["gmean"]; ok {
+		vals := make([]float64, len(series))
+		for i, v := range series {
+			vals[i] = v[2]
+		}
+		t.Rowf("gmean-total", "%.3f", vals...)
+	}
+	return fmt.Sprintf("%s: static partitioning sweep (best level %d, gmean total %.3f)\n%sgmean shape: %s\n",
+		name, ps.BestLevel, ps.BestTotal, t.String(), stats.Spark(ps.GmeanTotals()))
+}
+
+func levelsHeader(levels []int) []string {
+	out := make([]string, len(levels))
+	for i, lv := range levels {
+		out[i] = fmt.Sprintf("P=%d", lv)
+	}
+	return out
+}

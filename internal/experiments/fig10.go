@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// CounterSweep reproduces Fig. 10: dynamic partitioning with DRI-counter
+// widths 1..8 bits, normalised to Tiny ORAM.
+type CounterSweep struct {
+	TimingProtection bool
+	Widths           []int
+	Series           map[string][]float64 // normalised totals per width
+	BestWidth        int
+	BestTotal        float64
+}
+
+// Fig10 sweeps the DRI counter width (the paper uses the no-timing-
+// protection configuration here; §VI-C reports the same 3-bit optimum with
+// protection).
+func Fig10(r Runner) (*CounterSweep, error) { return counterSweep(r, false) }
+
+func counterSweep(r Runner, tp bool) (*CounterSweep, error) {
+	widths := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	schemes := []Scheme{schemeTiny(tp)}
+	for _, w := range widths {
+		schemes = append(schemes, schemePolicy(fmt.Sprintf("dynamic-%d", w), tp, core.Dynamic(w)))
+	}
+	m, err := r.RunMatrix(cpu.InOrder(), schemes)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CounterSweep{TimingProtection: tp, Widths: widths, Series: map[string][]float64{}}
+	picks := map[string]bool{"sjeng": true, "h264ref": true, "namd": true}
+	totals := make([][]float64, len(widths))
+	for i := range totals {
+		totals[i] = make([]float64, len(r.Workloads))
+	}
+	for w, p := range r.Workloads {
+		base := float64(m[w][0].Cycles)
+		var series []float64
+		for wi := range widths {
+			v := float64(m[w][wi+1].Cycles) / base
+			series = append(series, v)
+			totals[wi][w] = v
+		}
+		if picks[p.Name] {
+			cs.Series[p.Name] = series
+		}
+	}
+	var gm []float64
+	cs.BestTotal = 1e18
+	for wi := range widths {
+		g := stats.Gmean(totals[wi])
+		gm = append(gm, g)
+		if g < cs.BestTotal {
+			cs.BestTotal = g
+			cs.BestWidth = widths[wi]
+		}
+	}
+	cs.Series["gmean"] = gm
+	return cs, nil
+}
+
+// Render produces the figure's table.
+func (cs *CounterSweep) Render() string {
+	header := []string{"series"}
+	for _, w := range cs.Widths {
+		header = append(header, fmt.Sprintf("%d-bit", w))
+	}
+	t := stats.NewTable(header...)
+	for _, s := range []string{"sjeng", "h264ref", "namd", "gmean"} {
+		if series, ok := cs.Series[s]; ok {
+			t.Rowf(s, "%.3f", series...)
+		}
+	}
+	return fmt.Sprintf("Fig 10: DRI-counter width sweep (best %d-bit, gmean total %.3f)\n%sgmean shape: %s\n",
+		cs.BestWidth, cs.BestTotal, t.String(), stats.Spark(cs.Series["gmean"]))
+}

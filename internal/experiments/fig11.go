@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// Slowdown reproduces Fig. 11 (no timing protection, schemes tiny /
+// static-7 / dynamic-3) and Fig. 15 (timing protection, tiny / static-4 /
+// dynamic-3): per-workload slowdown relative to the insecure system.
+type Slowdown struct {
+	TimingProtection bool
+	Workloads        []string
+	SchemeNames      []string
+	// Slowdowns[w][s] = cycles(scheme)/cycles(insecure).
+	Slowdowns [][]float64
+}
+
+// Fig11 measures slowdown without timing protection (static level 7, the
+// Fig. 9 optimum in the paper).
+func Fig11(r Runner) (*Slowdown, error) { return slowdown(r, false, 7) }
+
+// Fig15 measures slowdown with timing protection (static level 4, the
+// Fig. 14 optimum in the paper).
+func Fig15(r Runner) (*Slowdown, error) { return slowdown(r, true, 4) }
+
+func slowdown(r Runner, tp bool, staticLevel int) (*Slowdown, error) {
+	schemes := []Scheme{
+		schemeInsecure(),
+		schemeTiny(tp),
+		schemePolicy(fmt.Sprintf("static-%d", staticLevel), tp, core.Static(staticLevel)),
+		schemePolicy("dynamic-3", tp, core.Dynamic(3)),
+	}
+	m, err := r.RunMatrix(cpu.InOrder(), schemes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Slowdown{
+		TimingProtection: tp,
+		Workloads:        r.names(),
+		SchemeNames:      []string{schemes[1].Name, schemes[2].Name, schemes[3].Name},
+	}
+	for w := range r.Workloads {
+		base := float64(m[w][0].Cycles)
+		row := []float64{
+			float64(m[w][1].Cycles) / base,
+			float64(m[w][2].Cycles) / base,
+			float64(m[w][3].Cycles) / base,
+		}
+		s.Slowdowns = append(s.Slowdowns, row)
+	}
+	return s, nil
+}
+
+// Gmeans returns the geometric-mean slowdown per scheme.
+func (s *Slowdown) Gmeans() []float64 {
+	out := make([]float64, len(s.SchemeNames))
+	for i := range s.SchemeNames {
+		col := make([]float64, len(s.Slowdowns))
+		for w := range s.Slowdowns {
+			col[w] = s.Slowdowns[w][i]
+		}
+		out[i] = stats.Gmean(col)
+	}
+	return out
+}
+
+// Render produces the figure's table.
+func (s *Slowdown) Render() string {
+	name := "Fig 11 (no timing protection)"
+	if s.TimingProtection {
+		name = "Fig 15 (timing protection)"
+	}
+	t := stats.NewTable(append([]string{"bench"}, s.SchemeNames...)...)
+	for i, w := range s.Workloads {
+		t.Rowf(w, "%.2f", s.Slowdowns[i]...)
+	}
+	t.Rowf("gmean", "%.2f", s.Gmeans()...)
+	return name + ": slowdown vs the insecure system\n" + t.String()
+}

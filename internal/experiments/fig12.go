@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// EnergyFig reproduces Fig. 12: memory-system energy of tiny / static-7 /
+// dynamic-3 normalised to the insecure system, without timing protection.
+type EnergyFig struct {
+	Workloads   []string
+	SchemeNames []string
+	Energy      [][]float64 // [workload][scheme], normalised to insecure
+}
+
+// Fig12 runs the energy comparison.
+func Fig12(r Runner) (*EnergyFig, error) {
+	schemes := []Scheme{
+		schemeInsecure(),
+		schemeTiny(false),
+		schemePolicy("static-7", false, core.Static(7)),
+		schemePolicy("dynamic-3", false, core.Dynamic(3)),
+	}
+	m, err := r.RunMatrix(cpu.InOrder(), schemes)
+	if err != nil {
+		return nil, err
+	}
+	e := &EnergyFig{
+		Workloads:   r.names(),
+		SchemeNames: []string{"tiny", "static-7", "dynamic-3"},
+	}
+	for w := range r.Workloads {
+		base := m[w][0].Energy
+		e.Energy = append(e.Energy, []float64{
+			m[w][1].Energy / base,
+			m[w][2].Energy / base,
+			m[w][3].Energy / base,
+		})
+	}
+	return e, nil
+}
+
+// Gmeans returns the geometric-mean normalised energy per scheme.
+func (e *EnergyFig) Gmeans() []float64 {
+	out := make([]float64, len(e.SchemeNames))
+	for i := range e.SchemeNames {
+		col := make([]float64, len(e.Energy))
+		for w := range e.Energy {
+			col[w] = e.Energy[w][i]
+		}
+		out[i] = stats.Gmean(col)
+	}
+	return out
+}
+
+// Render produces the figure's table.
+func (e *EnergyFig) Render() string {
+	t := stats.NewTable(append([]string{"bench"}, e.SchemeNames...)...)
+	for i, w := range e.Workloads {
+		t.Rowf(w, "%.1f", e.Energy[i]...)
+	}
+	t.Rowf("gmean", "%.1f", e.Gmeans()...)
+	return "Fig 12: energy normalized to the insecure system (no timing protection)\n" + t.String()
+}

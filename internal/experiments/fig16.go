@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// HitRate reproduces Fig. 16: the on-chip (stash + treetop) hit rate of
+// treetop-3 and treetop-7 caching, with and without shadow blocks, under
+// timing protection.
+type HitRate struct {
+	Workloads   []string
+	SchemeNames []string
+	Rates       [][]float64 // [workload][scheme]
+}
+
+// Fig16 runs the on-chip hit-rate comparison.
+func Fig16(r Runner) (*HitRate, error) {
+	d3 := core.Dynamic(3)
+	schemes := []Scheme{
+		{Name: "treetop-3", TP: true, Treetop: 3},
+		{Name: "shadow+treetop-3", TP: true, Treetop: 3, Policy: &d3},
+		{Name: "treetop-7", TP: true, Treetop: 7},
+		{Name: "shadow+treetop-7", TP: true, Treetop: 7, Policy: &d3},
+	}
+	m, err := r.RunMatrix(cpu.InOrder(), schemes)
+	if err != nil {
+		return nil, err
+	}
+	h := &HitRate{Workloads: r.names()}
+	for _, s := range schemes {
+		h.SchemeNames = append(h.SchemeNames, s.Name)
+	}
+	for w := range r.Workloads {
+		row := make([]float64, len(schemes))
+		for s := range schemes {
+			row[s] = m[w][s].OnChipHitRate
+		}
+		h.Rates = append(h.Rates, row)
+	}
+	return h, nil
+}
+
+// Means returns the arithmetic-mean hit rate per scheme (hit rates may be
+// zero, so the geometric mean is unusable here — the paper plots absolute
+// rates).
+func (h *HitRate) Means() []float64 {
+	out := make([]float64, len(h.SchemeNames))
+	for i := range h.SchemeNames {
+		col := make([]float64, len(h.Rates))
+		for w := range h.Rates {
+			col[w] = h.Rates[w][i]
+		}
+		out[i] = stats.Mean(col)
+	}
+	return out
+}
+
+// Render produces the figure's table.
+func (h *HitRate) Render() string {
+	t := stats.NewTable(append([]string{"bench"}, h.SchemeNames...)...)
+	for i, w := range h.Workloads {
+		t.Rowf(w, "%.3f", h.Rates[i]...)
+	}
+	t.Rowf("mean", "%.3f", h.Means()...)
+	return "Fig 16: on-chip (stash+treetop) hit rate, with and without shadow blocks\n" + t.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// SpeedupVsRelated reproduces Fig. 17: speedup over Tiny ORAM of XOR
+// compression, shadow block (dynamic-3), and shadow block combined with
+// treetop-3 / treetop-7 caching, under timing protection.
+type SpeedupVsRelated struct {
+	Workloads   []string
+	SchemeNames []string
+	Speedups    [][]float64 // [workload][scheme], cycles(tiny)/cycles(scheme)
+}
+
+// Fig17 runs the related-work comparison.
+func Fig17(r Runner) (*SpeedupVsRelated, error) {
+	d3 := core.Dynamic(3)
+	schemes := []Scheme{
+		schemeTiny(true),
+		{Name: "xor", TP: true, XOR: true},
+		{Name: "shadow", TP: true, Policy: &d3},
+		{Name: "shadow+treetop-3", TP: true, Treetop: 3, Policy: &d3},
+		{Name: "shadow+treetop-7", TP: true, Treetop: 7, Policy: &d3},
+	}
+	m, err := r.RunMatrix(cpu.InOrder(), schemes)
+	if err != nil {
+		return nil, err
+	}
+	sp := &SpeedupVsRelated{Workloads: r.names()}
+	for _, s := range schemes[1:] {
+		sp.SchemeNames = append(sp.SchemeNames, s.Name)
+	}
+	for w := range r.Workloads {
+		base := float64(m[w][0].Cycles)
+		row := make([]float64, len(schemes)-1)
+		for s := 1; s < len(schemes); s++ {
+			row[s-1] = base / float64(m[w][s].Cycles)
+		}
+		sp.Speedups = append(sp.Speedups, row)
+	}
+	return sp, nil
+}
+
+// Gmeans returns the geometric-mean speedup per scheme.
+func (sp *SpeedupVsRelated) Gmeans() []float64 {
+	out := make([]float64, len(sp.SchemeNames))
+	for i := range sp.SchemeNames {
+		col := make([]float64, len(sp.Speedups))
+		for w := range sp.Speedups {
+			col[w] = sp.Speedups[w][i]
+		}
+		out[i] = stats.Gmean(col)
+	}
+	return out
+}
+
+// Render produces the figure's table.
+func (sp *SpeedupVsRelated) Render() string {
+	t := stats.NewTable(append([]string{"bench"}, sp.SchemeNames...)...)
+	for i, w := range sp.Workloads {
+		t.Rowf(w, "%.3f", sp.Speedups[i]...)
+	}
+	t.Rowf("gmean", "%.3f", sp.Gmeans()...)
+	return "Fig 17: speedup over Tiny ORAM vs related work (timing protection)\n" + t.String()
+}

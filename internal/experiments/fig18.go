@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/stats"
+)
+
+// CPUTypeFig reproduces Fig. 18: the dynamic-3 speedup over Tiny ORAM for
+// the in-order core and the quad-core out-of-order configuration, under
+// timing protection. Higher memory-level parallelism shortens the DRI, so
+// the out-of-order speedup should be smaller.
+type CPUTypeFig struct {
+	Workloads []string
+	InOrder   []float64
+	O3        []float64
+}
+
+// Fig18 runs the CPU-type sensitivity study.
+func Fig18(r Runner) (*CPUTypeFig, error) {
+	d3 := core.Dynamic(3)
+	schemes := []Scheme{
+		schemeTiny(true),
+		{Name: "dynamic-3", TP: true, Policy: &d3},
+	}
+	f := &CPUTypeFig{Workloads: r.names()}
+	for _, cc := range []cpu.Config{cpu.InOrder(), cpu.O3()} {
+		m, err := r.RunMatrix(cc, schemes)
+		if err != nil {
+			return nil, err
+		}
+		var sp []float64
+		for w := range r.Workloads {
+			sp = append(sp, float64(m[w][0].Cycles)/float64(m[w][1].Cycles))
+		}
+		if cc.OOO {
+			f.O3 = sp
+		} else {
+			f.InOrder = sp
+		}
+	}
+	return f, nil
+}
+
+// Gmeans returns (in-order, out-of-order) geometric-mean speedups.
+func (f *CPUTypeFig) Gmeans() (inorder, o3 float64) {
+	return stats.Gmean(f.InOrder), stats.Gmean(f.O3)
+}
+
+// Render produces the figure's table.
+func (f *CPUTypeFig) Render() string {
+	t := stats.NewTable("bench", "in-order", "out-of-order")
+	for i, w := range f.Workloads {
+		t.Rowf(w, "%.3f", f.InOrder[i], f.O3[i])
+	}
+	gi, go3 := f.Gmeans()
+	t.Rowf("gmean", "%.3f", gi, go3)
+	return "Fig 18: dynamic-3 speedup over Tiny ORAM by CPU type (timing protection)\n" + t.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/sim"
+	"shadowblock/internal/stats"
+)
+
+// SizeSweep reproduces Fig. 19: the dynamic-3 speedup over Tiny ORAM as
+// the data ORAM size sweeps 1–16 GB (scaled trees L=16..20, the constant
+// 1/64 ratio of DESIGN.md §6), under timing protection.
+type SizeSweep struct {
+	Labels   []string
+	Ls       []int
+	Speedups []float64 // gmean speedup per size
+}
+
+// Fig19 runs the ORAM-size sensitivity study.
+func Fig19(r Runner) (*SizeSweep, error) {
+	sizes := []struct {
+		label string
+		l     int
+	}{
+		{"1GB", 16}, {"2GB", 17}, {"4GB", 18}, {"8GB", 19}, {"16GB", 20},
+	}
+	out := &SizeSweep{}
+	nw := len(r.Workloads)
+	speedups := make([]float64, len(sizes)*nw)
+	err := parMap(len(sizes)*nw, func(i int) error {
+		sz := sizes[i/nw]
+		p := r.Workloads[i%nw]
+		// Footprints keep their proportion of the tree across sizes.
+		prof := p.Scaled(1<<uint(sz.l), 1<<18)
+		run := func(pol *core.Config) (sim.Metrics, error) {
+			ocfg := oram.Default()
+			ocfg.L = sz.l
+			ocfg.TimingProtection = true
+			return sim.Run(sim.Spec{
+				Profile: prof, CPU: cpu.InOrder(), Refs: r.Refs, Seed: r.Seed,
+				ORAM: ocfg, Policy: pol,
+			})
+		}
+		tiny, err := run(nil)
+		if err != nil {
+			return err
+		}
+		d3 := core.Dynamic(3)
+		shadow, err := run(&d3)
+		if err != nil {
+			return err
+		}
+		speedups[i] = float64(tiny.Cycles) / float64(shadow.Cycles)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sz := range sizes {
+		out.Labels = append(out.Labels, sz.label)
+		out.Ls = append(out.Ls, sz.l)
+		out.Speedups = append(out.Speedups, stats.Gmean(speedups[si*nw:(si+1)*nw]))
+	}
+	return out, nil
+}
+
+// Render produces the figure's table.
+func (s *SizeSweep) Render() string {
+	t := stats.NewTable("size", "L", "gmean speedup")
+	for i := range s.Labels {
+		t.Row(s.Labels[i], fmt.Sprintf("%d", s.Ls[i]), fmt.Sprintf("%.3f", s.Speedups[i]))
+	}
+	return "Fig 19: dynamic-3 speedup over Tiny ORAM by data ORAM size (timing protection)\n" + t.String()
+}

@@ -1,0 +1,169 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each FigNN function runs the workload × scheme matrix
+// that figure plots and returns the same rows/series; Render produces a
+// text table, CSV a machine-readable form. DESIGN.md §4 is the index.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/sim"
+	"shadowblock/internal/trace"
+)
+
+// Runner fixes the scale of every experiment.
+type Runner struct {
+	Refs int // memory references per core per run
+	Seed uint64
+	// Workloads is the benchmark list (default: the ten SPEC profiles).
+	Workloads []trace.Profile
+}
+
+// Default returns the publication-scale runner.
+func Default() Runner {
+	return Runner{Refs: 60000, Seed: 7, Workloads: trace.SPEC2006()}
+}
+
+// Quick returns a fast runner for tests and smoke runs. The shapes are
+// noisier at this scale but the orderings hold.
+func Quick() Runner {
+	return Runner{Refs: 12000, Seed: 7, Workloads: trace.SPEC2006()}
+}
+
+// Scheme names a memory-system configuration under evaluation.
+type Scheme struct {
+	Name     string
+	Insecure bool
+	TP       bool // timing protection at the Table I static rate
+	Policy   *core.Config
+	Treetop  int
+	XOR      bool
+}
+
+// The named schemes of the evaluation.
+func schemeInsecure() Scheme { return Scheme{Name: "insecure", Insecure: true} }
+func schemeTiny(tp bool) Scheme {
+	return Scheme{Name: "tiny", TP: tp}
+}
+func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
+	c := cfg
+	return Scheme{Name: name, TP: tp, Policy: &c}
+}
+
+// Run executes one (workload, scheme) cell.
+func (r Runner) Run(p trace.Profile, cpuCfg cpu.Config, s Scheme) (sim.Metrics, error) {
+	ocfg := oram.Default()
+	ocfg.TimingProtection = s.TP
+	ocfg.TreetopLevels = s.Treetop
+	ocfg.XOR = s.XOR
+	spec := sim.Spec{
+		Profile:  p,
+		CPU:      cpuCfg,
+		Refs:     r.Refs,
+		Seed:     r.Seed,
+		Insecure: s.Insecure,
+		ORAM:     ocfg,
+		Policy:   s.Policy,
+	}
+	return sim.Run(spec)
+}
+
+// cell identifies one unit of work in a parallel sweep.
+type cell struct {
+	wl     int
+	scheme int
+}
+
+// RunMatrix evaluates every workload × scheme cell in parallel and returns
+// metrics indexed as [workload][scheme].
+func (r Runner) RunMatrix(cpuCfg cpu.Config, schemes []Scheme) ([][]sim.Metrics, error) {
+	out := make([][]sim.Metrics, len(r.Workloads))
+	for i := range out {
+		out[i] = make([]sim.Metrics, len(schemes))
+	}
+	var cells []cell
+	for w := range r.Workloads {
+		for s := range schemes {
+			cells = append(cells, cell{w, s})
+		}
+	}
+	var (
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	work := make(chan cell)
+	workers := runtime.NumCPU()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				m, err := r.Run(r.Workloads[c.wl], cpuCfg, schemes[c.scheme])
+				mu.Lock()
+				if err != nil && firstEr == nil {
+					firstEr = err
+				}
+				out[c.wl][c.scheme] = m
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	return out, firstEr
+}
+
+// parMap runs fn(0..n-1) across NumCPU workers and returns the first error.
+func parMap(n int, fn func(i int) error) error {
+	var (
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	work := make(chan int)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstEr
+}
+
+// names extracts the workload names.
+func (r Runner) names() []string {
+	out := make([]string, len(r.Workloads))
+	for i, p := range r.Workloads {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,798 @@
+package oram
+
+import (
+	"fmt"
+	"sort"
+
+	"shadowblock/internal/block"
+	"shadowblock/internal/cache"
+	"shadowblock/internal/crypt"
+	"shadowblock/internal/dram"
+	"shadowblock/internal/posmap"
+	"shadowblock/internal/rng"
+	"shadowblock/internal/stash"
+	"shadowblock/internal/tree"
+)
+
+// Outcome reports the timing of one LLC request through the ORAM.
+type Outcome struct {
+	Start   int64 // cycle the controller began serving (slot-aligned)
+	Forward int64 // cycle the requested data reached the LLC
+	Done    int64 // cycle the controller finished all triggered work
+	// StashHit: served entirely on-chip, no ORAM access.
+	StashHit bool
+	// OnChip: the data came from on-chip state (stash, or a block — real or
+	// shadow — resident in the treetop cache). This is Fig. 16's hit metric.
+	OnChip bool
+}
+
+// Stats accumulates controller-level counters.
+type Stats struct {
+	Requests        uint64 // LLC requests presented
+	StashHits       uint64 // served by a resident real block
+	ShadowStashHits uint64 // served by a resident shadow block (HD-Dup payoff)
+	OnChipHits      uint64 // Fig. 16 numerator
+
+	ORAMAccesses   uint64 // path reads (read-only phases), real or dummy
+	DummyAccesses  uint64 // timing-protection dummy requests
+	PMAccesses     uint64 // accesses fetching position-map blocks
+	PLBWritebacks  uint64 // accesses re-inserting evicted PLB entries
+	EvictionPhases uint64 // read-write phases
+	ShadowForwards uint64 // requests forwarded early from a tree shadow
+	StashOverflows uint64
+	Anomalies      uint64 // invariant repairs (should stay zero)
+
+	// Depth accounting over real (data and posmap) accesses: the level of
+	// the copy that served the forward, the level of the real copy, and
+	// the cycles from access start to forward / to completion. These drive
+	// the ablation experiments and diagnose how much earlier shadows make
+	// the intended data available.
+	FwdSamples   uint64
+	SumFwdLevel  uint64
+	SumRealLevel uint64
+	SumFwdCycles uint64
+	SumEndCycles uint64
+
+	DataAccessCycles int64 // sum over real requests of Done-Start (eq. 1)
+}
+
+// EventKind labels an externally visible ORAM operation.
+type EventKind uint8
+
+// Externally visible operations: the attacker sees which physical path is
+// read or written and when, nothing else.
+const (
+	EvPathRead EventKind = iota
+	EvPathWrite
+)
+
+// Event is one externally visible operation, recorded for the security
+// tests' trace comparison.
+type Event struct {
+	Kind  EventKind
+	Leaf  uint32
+	Start int64
+}
+
+// Controller is one ORAM instance: tree image, stash, position map, PLB,
+// DRAM timing model and (optionally) a duplication policy.
+type Controller struct {
+	cfg    Config
+	geo    tree.Geometry
+	layout tree.Layout
+	mem    *dram.Memory
+	store  *treeStore
+	st     *stash.Stash
+	pos    *posmap.Store
+	plb    *cache.Cache
+	policy DupPolicy
+	engine *crypt.Engine
+
+	// plbBlocks holds the posmap blocks whose data lives in the PLB's
+	// SRAM: they are neither in the tree nor in the stash while resident.
+	plbBlocks map[uint32]block.Meta
+
+	labelRNG *rng.Xoshiro
+	dummyRNG *rng.Xoshiro
+
+	accessCount uint64 // read-only accesses since start (for A)
+	evictCount  uint64 // reverse-lex eviction counter
+	busyUntil   int64
+	lastDone    int64
+	emaAccess   int64 // smoothed duration of one ORAM request
+
+	stats        Stats
+	observer     func(Event)
+	pendingWrite []byte // payload for an in-flight WriteBlock
+	lastRead     []byte // payload captured by the last functional access
+
+	// Scratch buffers (the controller is single-threaded by design: it
+	// models serial hardware).
+	pathBuf    []int
+	chainBuf   []uint32
+	addrBuf    []uint64
+	doneBuf    []int64
+	arrivalBuf []int64
+	poolsBuf   [][]uint32
+	placedData map[uint32][]byte
+}
+
+// New builds and initialises a controller: every block of the unified
+// address space receives a random label and is placed in the tree (or the
+// stash when its path is full), as after an oblivious initialisation pass.
+func New(cfg Config, policy DupPolicy) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = NopPolicy{}
+	}
+	geo, err := tree.NewGeometry(cfg.L, cfg.Z)
+	if err != nil {
+		return nil, err
+	}
+
+	var hier posmap.Hierarchy
+	if cfg.DirectPosMap {
+		hier = posmap.Direct(cfg.NumDataBlocks())
+	} else {
+		hier, err = posmap.NewHierarchy(cfg.NumDataBlocks(), cfg.PosmapFanout, cfg.OnChipPosMapEntries)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if hier.TotalBlocks() > block.MaxAddr {
+		return nil, fmt.Errorf("oram: %d blocks exceed the packed address space", hier.TotalBlocks())
+	}
+
+	c := &Controller{
+		cfg:        cfg,
+		geo:        geo,
+		layout:     tree.NewLayout(geo, cfg.BlockBytes, cfg.DRAM.RowBytes),
+		mem:        dram.New(cfg.DRAM),
+		store:      newTreeStore(geo, cfg.Functional),
+		st:         stash.New(cfg.StashCapacity),
+		policy:     policy,
+		labelRNG:   rng.NewXoshiro(cfg.Seed*0x9e3779b9 + 1),
+		dummyRNG:   rng.NewXoshiro(cfg.Seed*0x85ebca6b + 2),
+		pathBuf:    make([]int, geo.Levels()),
+		chainBuf:   make([]uint32, 0, 8),
+		addrBuf:    make([]uint64, 0, geo.PathLen()),
+		doneBuf:    make([]int64, geo.PathLen()),
+		arrivalBuf: make([]int64, geo.PathLen()),
+		poolsBuf:   make([][]uint32, geo.Levels()),
+		placedData: make(map[uint32][]byte),
+		emaAccess:  1,
+	}
+	c.pos = posmap.NewStore(hier, geo.NumLeaves(), rng.NewXoshiro(cfg.Seed*0xc2b2ae35+3))
+	if !cfg.DirectPosMap {
+		entries := cfg.PLBBytes / cfg.BlockBytes
+		plb, err := cache.New(entries, 1, cfg.PLBWays)
+		if err != nil {
+			return nil, fmt.Errorf("oram: PLB geometry: %w", err)
+		}
+		c.plb = plb
+		c.plbBlocks = make(map[uint32]block.Meta, entries)
+	}
+	if cfg.Functional {
+		key := make([]byte, 16)
+		sm := rng.NewSplitMix64(cfg.Seed)
+		for i := range key {
+			key[i] = byte(sm.Next())
+		}
+		c.engine, err = crypt.NewEngine(key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := c.initialPlacement(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config, policy DupPolicy) *Controller {
+	c, err := New(cfg, policy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// initialPlacement fills the tree respecting the path invariant: each block
+// goes to the deepest non-full bucket on its assigned path.
+func (c *Controller) initialPlacement() error {
+	occ := make([]uint8, c.geo.NumBuckets())
+	total := c.pos.Hierarchy().TotalBlocks()
+	for a := 0; a < total; a++ {
+		addr := uint32(a)
+		label := c.pos.Label(addr)
+		placed := false
+		for lv := c.geo.L; lv >= 0; lv-- {
+			b := c.geo.BucketAt(label, lv)
+			if int(occ[b]) < c.geo.Z {
+				m := block.Meta{Kind: block.Real, Addr: addr, Label: label}
+				c.store.set(b, int(occ[b]), m, c.sealZero())
+				occ[b]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if c.st.Insert(stash.Entry{
+				Meta: block.Meta{Kind: block.Real, Addr: addr, Label: label},
+				Data: c.zeroPlain(),
+			}) == stash.Overflow {
+				return fmt.Errorf("oram: initial placement overflowed the stash")
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Controller) zeroPlain() []byte {
+	if !c.cfg.Functional {
+		return nil
+	}
+	return make([]byte, c.cfg.BlockBytes)
+}
+
+func (c *Controller) sealZero() []byte {
+	if c.engine == nil {
+		return nil
+	}
+	return c.engine.Encrypt(c.zeroPlain())
+}
+
+// SetObserver registers a callback receiving every externally visible
+// operation (path reads and writes).
+func (c *Controller) SetObserver(fn func(Event)) { c.observer = fn }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// MemStats exposes the DRAM model's counters (for the energy model).
+func (c *Controller) MemStats() dram.Stats { return c.mem.Stats() }
+
+// StashMaxReal returns the stash's real-block high-water mark (for the
+// Rule-3 overflow-equivalence tests).
+func (c *Controller) StashMaxReal() int { return c.st.MaxRealOccupancy() }
+
+// Geometry exposes the tree geometry.
+func (c *Controller) Geometry() tree.Geometry { return c.geo }
+
+// Stash exposes the stash (the core package's policy inspects shadow
+// candidates through it).
+func (c *Controller) Stash() *stash.Stash { return c.st }
+
+// PosLabel returns the current label of a unified-space address (testing
+// and invariant checking).
+func (c *Controller) PosLabel(addr uint32) uint32 { return c.pos.Label(addr) }
+
+// NumDataBlocks returns the data address space size.
+func (c *Controller) NumDataBlocks() int { return c.pos.Hierarchy().NumData() }
+
+// BusyUntil returns the cycle at which the controller goes idle.
+func (c *Controller) BusyUntil() int64 { return c.busyUntil }
+
+// Request serves one LLC miss presented at cycle now. In timing-protection
+// mode, dummy requests are first issued for every unclaimed slot before
+// now, then the request takes the next slot.
+func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
+	if int(addr) >= c.pos.Hierarchy().NumData() {
+		panic(fmt.Sprintf("oram: address %d outside the data space", addr))
+	}
+	c.stats.Requests++
+	c.policy.NoteLLCMiss(addr)
+
+	// On-chip CAM lookup is effectively instant.
+	if e, ok := c.st.Lookup(addr); ok {
+		if e.Meta.Kind == block.Real || (!write && !c.cfg.DisableShadowHits) {
+			if e.Meta.Kind == block.Real {
+				c.stats.StashHits++
+				if write && c.cfg.Functional {
+					c.st.Update(addr, c.writeValue(addr))
+				}
+			} else {
+				c.stats.ShadowStashHits++
+			}
+			c.stats.OnChipHits++
+			return Outcome{Start: now, Forward: now + 1, Done: now + 1, StashHit: true, OnChip: true}
+		}
+		// A write that only hits a shadow must still collect and supersede
+		// the tree copy: fall through to a full request.
+	}
+
+	// Backfilled dummies must reach the policy before this real request.
+	start := c.alignForReal(now)
+	c.policy.NoteORAMRequest(false)
+
+	// Position-map walk (FreeCursive): find the deepest translation source
+	// already on-chip, then fetch the missing posmap blocks top-down.
+	chain := c.pos.Hierarchy().Chain(addr, c.chainBuf)
+	c.chainBuf = chain
+	fetchFrom := len(chain) // default: only the on-chip top level knows a label
+	for i := 1; i < len(chain); i++ {
+		if c.plb != nil && c.plb.Hit(uint64(chain[i])) {
+			fetchFrom = i
+			break
+		}
+		if e, ok := c.st.Lookup(chain[i]); ok && e.Meta.Kind == block.Real {
+			fetchFrom = i
+			break
+		}
+	}
+	cur := start
+	for i := fetchFrom - 1; i >= 1; i-- {
+		_, end, _, _ := c.oramAccess(cur, chain[i], false, true)
+		c.stats.PMAccesses++
+		cur = end
+	}
+
+	forward, _, onChip, viaShadow := c.oramAccess(cur, addr, write, false)
+	if viaShadow {
+		c.stats.ShadowForwards++
+	}
+	if onChip {
+		c.stats.OnChipHits++
+	}
+
+	out := Outcome{Start: start, Forward: forward, Done: c.busyUntil, OnChip: onChip}
+	c.stats.DataAccessCycles += out.Done - out.Start
+	c.lastDone = c.busyUntil
+
+	// Track the typical request duration for the virtual-dummy signal used
+	// by dynamic partitioning without timing protection (DESIGN.md §3).
+	dur := out.Done - out.Start
+	c.emaAccess += (dur - c.emaAccess) / 8
+	return out
+}
+
+// writeValue produces the payload stored by a write in functional mode:
+// the data supplied through WriteBlock when present, otherwise a marker
+// pattern (plain timing writes carry no payload of interest).
+func (c *Controller) writeValue(addr uint32) []byte {
+	if c.pendingWrite != nil {
+		return c.pendingWrite
+	}
+	v := make([]byte, c.cfg.BlockBytes)
+	v[0] = byte(addr)
+	return v
+}
+
+// WriteBlock stores data (padded or truncated to the block size) at addr
+// through a full ORAM write. Functional mode only.
+func (c *Controller) WriteBlock(now int64, addr uint32, data []byte) Outcome {
+	if !c.cfg.Functional {
+		panic("oram: WriteBlock requires functional mode")
+	}
+	buf := make([]byte, c.cfg.BlockBytes)
+	copy(buf, data)
+	c.pendingWrite = buf
+	out := c.Request(now, addr, true)
+	c.pendingWrite = nil
+	return out
+}
+
+// ReadBlock fetches the current contents of addr through a full ORAM read.
+// Functional mode only.
+func (c *Controller) ReadBlock(now int64, addr uint32) ([]byte, Outcome) {
+	if !c.cfg.Functional {
+		panic("oram: ReadBlock requires functional mode")
+	}
+	c.lastRead = nil
+	out := c.Request(now, addr, false)
+	src := c.lastRead
+	if out.StashHit {
+		e, ok := c.st.Lookup(addr)
+		if !ok {
+			panic(fmt.Sprintf("oram: block %d absent after stash hit", addr))
+		}
+		src = e.Data
+	}
+	if src == nil {
+		panic(fmt.Sprintf("oram: block %d produced no payload", addr))
+	}
+	data := make([]byte, len(src))
+	copy(data, src)
+	return data, out
+}
+
+// alignForReal issues any due dummy requests and returns the cycle at which
+// a real request presented at now may start.
+func (c *Controller) alignForReal(now int64) int64 {
+	if !c.cfg.TimingProtection {
+		start := max64(now, c.busyUntil)
+		// Virtual dummy signal: a gap long enough to have fitted another
+		// request means the DRI was long (RD-Dup preferred).
+		if c.stats.ORAMAccesses > 0 && start-c.lastDone > c.emaAccess {
+			c.policy.NoteORAMRequest(true)
+		}
+		return start
+	}
+	c.AdvanceTo(now)
+	return c.nextSlot(max64(now, c.busyUntil))
+}
+
+// AdvanceTo issues timing-protection dummy requests for every slot that
+// falls strictly before now while the controller is idle. Without timing
+// protection it is a no-op.
+func (c *Controller) AdvanceTo(now int64) {
+	if !c.cfg.TimingProtection {
+		return
+	}
+	for {
+		s := c.nextSlot(c.busyUntil)
+		if s >= now {
+			return
+		}
+		c.issueDummy(s)
+	}
+}
+
+func (c *Controller) nextSlot(t int64) int64 {
+	r := c.cfg.RequestRate
+	return (t + r - 1) / r * r
+}
+
+func (c *Controller) issueDummy(start int64) {
+	leaf := uint32(c.dummyRNG.Uint64n(uint64(c.geo.NumLeaves())))
+	c.stats.DummyAccesses++
+	c.policy.NoteORAMRequest(true)
+	_, end, _ := c.pathRead(start, leaf, NoAddr, false)
+	c.accessCount++
+	end = c.maybeEvict(end)
+	c.busyUntil = end
+}
+
+// Drain returns the cycle at which all work completes.
+func (c *Controller) Drain() int64 { return c.busyUntil }
+
+// oramAccess performs one read-only ORAM access for addr (remapping it and
+// leaving it in the stash — or parking it in the PLB for posmap fetches),
+// plus the eviction phase when due. It returns the forward cycle of addr's
+// data, the completion cycle, whether the forward came from on-chip state,
+// and whether a tree shadow provided it.
+func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool) (forward, end int64, onChip, viaShadow bool) {
+	start = max64(start, c.busyUntil)
+	label := c.pos.Label(addr)
+
+	var res readResult
+	forward, end, res = c.pathRead(start, label, addr, false)
+	if res.realLevel >= 0 {
+		c.stats.FwdSamples++
+		c.stats.SumFwdLevel += uint64(res.fwdLevel)
+		c.stats.SumRealLevel += uint64(res.realLevel)
+		c.stats.SumFwdCycles += uint64(forward - start)
+		c.stats.SumEndCycles += uint64(end - start)
+	}
+
+	// Remap (Step-3): the intended block moves to a fresh random path.
+	newLabel := uint32(c.labelRNG.Uint64n(uint64(c.geo.NumLeaves())))
+	c.pos.SetLabel(addr, newLabel)
+	if _, ok := c.st.Lookup(addr); !ok {
+		// The invariant guarantees the block was on the path or in the
+		// stash; reaching here means an earlier overflow dropped it.
+		c.stats.Anomalies++
+		c.st.Insert(stash.Entry{
+			Meta: block.Meta{Kind: block.Real, Addr: addr, Label: newLabel},
+			Data: c.zeroPlain(),
+		})
+	}
+	c.st.Relabel(addr, newLabel)
+	if write && c.cfg.Functional {
+		c.st.Update(addr, c.writeValue(addr))
+	}
+	if c.cfg.Functional {
+		// Capture the payload now: the eviction phase below may push the
+		// block straight back into the tree.
+		if e, ok := c.st.Lookup(addr); ok {
+			c.lastRead = e.Data
+		}
+	}
+	if parkInPLB {
+		// Posmap fetches move to the PLB's storage before the eviction
+		// phase can sweep them back into the tree.
+		c.fillPLB(addr)
+	}
+
+	c.accessCount++
+	end = c.maybeEvict(end)
+	c.busyUntil = end
+	return forward, end, res.onChip, res.viaShadow
+}
+
+// maybeEvict runs the read-write phase after every A read-only accesses
+// (Step-4..6): a path read of the next reverse-lexicographic path followed
+// by a path write refilling it from the stash.
+func (c *Controller) maybeEvict(start int64) int64 {
+	if c.accessCount%uint64(c.cfg.A) != 0 {
+		return start
+	}
+	leaf := c.geo.ReverseLexLeaf(c.evictCount)
+	c.evictCount++
+	c.stats.EvictionPhases++
+	_, end, _ := c.pathRead(start, leaf, NoAddr, true)
+	return c.pathWrite(end, leaf)
+}
+
+// fillPLB moves a fetched posmap block from the stash into the PLB (both
+// on-chip, so this is free). A displaced PLB entry re-enters the stash and
+// flows back to the tree with the ordinary eviction stream — FreeCursive's
+// PLB eviction costs no dedicated ORAM access.
+func (c *Controller) fillPLB(addr uint32) {
+	if c.plb == nil {
+		return
+	}
+	hit, victim, _, evicted := c.plb.Access(uint64(addr), true)
+	if hit {
+		return
+	}
+	// The block just arrived in the stash through its fetch; park it in the
+	// PLB's storage instead.
+	if e, ok := c.st.Take(addr); ok {
+		c.plbBlocks[addr] = e.Meta
+	} else {
+		c.stats.Anomalies++
+		c.plb.Invalidate(uint64(addr))
+		return
+	}
+	if evicted {
+		v := uint32(victim)
+		m, ok := c.plbBlocks[v]
+		if !ok {
+			c.stats.Anomalies++
+			return
+		}
+		delete(c.plbBlocks, v)
+		c.stats.PLBWritebacks++
+		if c.st.Insert(stash.Entry{Meta: m, Data: c.zeroPlain()}) == stash.Overflow {
+			c.stats.StashOverflows++
+		}
+	}
+}
+
+type readResult struct {
+	onChip    bool
+	viaShadow bool
+	fwdLevel  int
+	realLevel int
+}
+
+// pathRead implements Algorithm 2: read every slot of path-leaf (treetop
+// levels from on-chip storage, the rest through the DRAM model) and forward
+// the intended block at the arrival of its earliest copy.
+//
+// Tiny ORAM's read-only accesses (collectAll=false) move only the intended
+// block into the stash — its stale shadows are discarded in place — while
+// every other block stays valid in the tree; the read-write phase
+// (collectAll=true) moves everything into the stash ahead of the path
+// write. This is the RAW Path ORAM decoupling that lets one eviction per A
+// accesses keep the stash bounded.
+func (c *Controller) pathRead(start int64, leaf, intended uint32, collectAll bool) (forward, end int64, res readResult) {
+	if c.observer != nil {
+		c.observer(Event{Kind: EvPathRead, Leaf: leaf, Start: start})
+	}
+	c.stats.ORAMAccesses++
+	res.realLevel = -1
+	path := c.geo.Path(leaf, c.pathBuf)
+	z := c.geo.Z
+	top := c.cfg.TreetopLevels
+
+	// Arrival times: on-chip levels are immediate; off-chip slots come from
+	// the DRAM batch, issued root to leaf.
+	c.addrBuf = c.addrBuf[:0]
+	for lv, bucket := range path {
+		for s := 0; s < z; s++ {
+			if lv >= top {
+				c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(bucket, s))
+			}
+		}
+	}
+	end = start + 1
+	if len(c.addrBuf) > 0 {
+		if c.cfg.XOR {
+			end = c.mem.ReadBatchOffBus(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+		} else {
+			end = c.mem.ReadBatch(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+		}
+	}
+	di := 0
+	for lv := range path {
+		for s := 0; s < z; s++ {
+			i := lv*z + s
+			if lv < top {
+				c.arrivalBuf[i] = start + 1
+			} else {
+				c.arrivalBuf[i] = c.doneBuf[di] + c.cfg.AESLatency
+				di++
+			}
+		}
+	}
+	end += c.cfg.AESLatency
+
+	for lv, bucket := range path {
+		for s := 0; s < z; s++ {
+			m := c.store.get(bucket, s)
+			if m.IsDummy() {
+				continue
+			}
+			isIntended := intended != NoAddr && m.Addr == intended
+			if !collectAll && !isIntended {
+				continue // stays valid in the tree
+			}
+			arrival := c.arrivalBuf[lv*z+s]
+			payload := c.openPayload(bucket, s)
+			c.store.clear(bucket, s)
+			if m.Kind == block.Real || collectAll {
+				// Intended shadows on a read-only access are stale once the
+				// block is remapped; they are discarded in place. Everything
+				// read by the read-write phase goes to the stash.
+				e := stash.Entry{Meta: m, Data: payload}
+				if m.Kind == block.Shadow {
+					e.Priority = c.policy.ShadowPriority(m.Addr)
+				}
+				if c.st.Insert(e) == stash.Overflow {
+					c.stats.StashOverflows++
+				}
+			}
+			if isIntended {
+				if forward == 0 {
+					forward = arrival
+					res.onChip = lv < top
+					res.viaShadow = m.Kind == block.Shadow
+					res.fwdLevel = lv
+				}
+				if m.Kind == block.Real {
+					res.realLevel = lv
+				}
+			}
+		}
+	}
+
+	if forward == 0 || c.cfg.XOR {
+		// Not found before the end (or XOR compression, where the intended
+		// block only exists once the whole path has been XOR-ed).
+		forward = end
+		res.onChip = false
+		res.viaShadow = false
+	}
+	return forward, end, res
+}
+
+func (c *Controller) openPayload(bucket, s int) []byte {
+	ct := c.store.payload(bucket, s)
+	if c.engine == nil || ct == nil {
+		return nil
+	}
+	pt, err := c.engine.Decrypt(ct)
+	if err != nil {
+		panic(fmt.Sprintf("oram: corrupt ciphertext at bucket %d slot %d: %v", bucket, s, err))
+	}
+	return pt
+}
+
+func (c *Controller) seal(payload []byte) []byte {
+	if c.engine == nil {
+		return nil
+	}
+	if payload == nil {
+		payload = c.zeroPlain()
+	}
+	return c.engine.Encrypt(payload)
+}
+
+// pathWrite implements Algorithm 1: refill path-leaf from the stash as deep
+// as possible; free slots go to the duplication policy before defaulting to
+// dummies. Every slot is (re-)encrypted and written.
+func (c *Controller) pathWrite(start int64, leaf uint32) int64 {
+	if c.observer != nil {
+		c.observer(Event{Kind: EvPathWrite, Leaf: leaf, Start: start})
+	}
+	c.policy.BeginPathWrite(leaf)
+	path := c.geo.Path(leaf, c.pathBuf)
+	z := c.geo.Z
+	top := c.cfg.TreetopLevels
+
+	// Bucket the stash's real blocks by how deep they may go on this path.
+	pools := c.poolsBuf
+	for i := range pools {
+		pools[i] = pools[i][:0]
+	}
+	c.st.ForEachReal(func(e stash.Entry) {
+		il := c.geo.IntersectLevel(e.Meta.Label, leaf)
+		pools[il] = append(pools[il], e.Meta.Addr)
+	})
+	// Canonical placement order: the stash's internal layout depends on
+	// how many shadows passed through it, and placement must not — the
+	// security tests rely on Tiny and Shadow ORAM evicting identically.
+	for i := range pools {
+		sortAddrs(pools[i])
+	}
+	for k := range c.placedData {
+		delete(c.placedData, k)
+	}
+
+	for i := c.geo.PathLen() - 1; i >= 0; i-- {
+		lv := i / z
+		s := i % z
+		bucket := path[lv]
+
+		// Deepest-eligible stash block: any pool at level >= lv.
+		var addr uint32
+		found := false
+		for d := c.geo.L; d >= lv; d-- {
+			if n := len(pools[d]); n > 0 {
+				addr = pools[d][n-1]
+				pools[d] = pools[d][:n-1]
+				found = true
+				break
+			}
+		}
+		if found {
+			e, ok := c.st.Take(addr)
+			if !ok {
+				c.stats.Anomalies++
+				continue
+			}
+			c.store.set(bucket, s, e.Meta, c.seal(e.Data))
+			if c.cfg.Functional {
+				c.placedData[e.Meta.Addr] = e.Data
+			}
+			c.policy.NoteEvict(e.Meta, lv)
+			continue
+		}
+		if m, ok := c.policy.SelectDup(leaf, lv); ok {
+			c.store.set(bucket, s, m, c.seal(c.dupPayload(m.Addr)))
+			c.policy.NoteEvict(m, lv)
+			continue
+		}
+		c.store.set(bucket, s, block.DummyMeta, c.sealZero())
+	}
+
+	// Write back every off-chip slot.
+	c.addrBuf = c.addrBuf[:0]
+	for lv, bucket := range path {
+		if lv < top {
+			continue
+		}
+		for s := 0; s < z; s++ {
+			c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(bucket, s))
+		}
+	}
+	end := start + 1
+	if len(c.addrBuf) > 0 {
+		end = c.mem.WriteBatch(start, c.addrBuf)
+	}
+	c.policy.EndPathWrite()
+	return end
+}
+
+// dupPayload finds the plaintext for a shadow copy of addr: either the
+// block was placed earlier in this very path write, or a shadow of it is
+// still resident in the stash.
+func (c *Controller) dupPayload(addr uint32) []byte {
+	if !c.cfg.Functional {
+		return nil
+	}
+	if d, ok := c.placedData[addr]; ok {
+		return d
+	}
+	if e, ok := c.st.Lookup(addr); ok {
+		return e.Data
+	}
+	c.stats.Anomalies++
+	return c.zeroPlain()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortAddrs(a []uint32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,62 @@
+package oram
+
+import (
+	"shadowblock/internal/block"
+	"shadowblock/internal/tree"
+)
+
+// treeStore is the external-memory image of the ORAM tree: packed metadata
+// for every slot plus, in functional mode, the slot ciphertexts. The packed
+// metadata is the simulator's bookkeeping of what each (indistinguishable)
+// ciphertext would decrypt to; nothing in it is visible off-chip.
+type treeStore struct {
+	geo   tree.Geometry
+	slots []uint64
+	data  [][]byte // ciphertexts; nil unless functional
+}
+
+func newTreeStore(geo tree.Geometry, functional bool) *treeStore {
+	t := &treeStore{geo: geo, slots: make([]uint64, geo.NumSlots())}
+	if functional {
+		t.data = make([][]byte, geo.NumSlots())
+	}
+	return t
+}
+
+func (t *treeStore) get(bucket, slot int) block.Meta {
+	return block.Unpack(t.slots[t.geo.SlotIndex(bucket, slot)])
+}
+
+func (t *treeStore) set(bucket, slot int, m block.Meta, payload []byte) {
+	i := t.geo.SlotIndex(bucket, slot)
+	t.slots[i] = m.Pack()
+	if t.data != nil {
+		t.data[i] = payload
+	}
+}
+
+func (t *treeStore) clear(bucket, slot int) {
+	i := t.geo.SlotIndex(bucket, slot)
+	t.slots[i] = 0
+	if t.data != nil {
+		t.data[i] = nil
+	}
+}
+
+func (t *treeStore) payload(bucket, slot int) []byte {
+	if t.data == nil {
+		return nil
+	}
+	return t.data[t.geo.SlotIndex(bucket, slot)]
+}
+
+// occupancy returns how many non-dummy blocks bucket currently holds.
+func (t *treeStore) occupancy(bucket int) int {
+	n := 0
+	for s := 0; s < t.geo.Z; s++ {
+		if !t.get(bucket, s).IsDummy() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,402 @@
+package ring
+
+import (
+	"fmt"
+
+	"shadowblock/internal/block"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/stash"
+)
+
+// Request serves one LLC miss presented at cycle now.
+func (c *Controller) Request(now int64, addr uint32, write bool) oram.Outcome {
+	if int(addr) >= c.cfg.NumDataBlocks() {
+		panic(fmt.Sprintf("ring: address %d outside the data space", addr))
+	}
+	c.stats.Requests++
+	c.policy.NoteLLCMiss(addr)
+
+	if e, ok := c.st.Lookup(addr); ok {
+		if e.Meta.Kind == block.Real || !write {
+			if e.Meta.Kind == block.Real {
+				c.stats.StashHits++
+			} else {
+				c.stats.ShadowStashHits++
+			}
+			return oram.Outcome{Start: now, Forward: now + 1, Done: now + 1, StashHit: true, OnChip: true}
+		}
+	}
+
+	start := c.align(now)
+	c.policy.NoteORAMRequest(false)
+	forward, end := c.readPath(start, addr)
+	c.busyUntil = end
+	out := oram.Outcome{Start: start, Forward: forward, Done: end}
+	c.stats.DataAccessCycles += end - start
+	return out
+}
+
+func (c *Controller) align(now int64) int64 {
+	if !c.cfg.TimingProtection {
+		return max64(now, c.busyUntil)
+	}
+	c.AdvanceTo(now)
+	r := c.cfg.RequestRate
+	t := max64(now, c.busyUntil)
+	return (t + r - 1) / r * r
+}
+
+// AdvanceTo issues timing-protection dummy reads for idle slots before now.
+func (c *Controller) AdvanceTo(now int64) {
+	if !c.cfg.TimingProtection {
+		return
+	}
+	r := c.cfg.RequestRate
+	for {
+		s := (c.busyUntil + r - 1) / r * r
+		if s >= now {
+			return
+		}
+		c.stats.DummyReads++
+		c.policy.NoteORAMRequest(true)
+		_, end := c.readPathAt(s, oram.NoAddr, uint32(c.dummyRNG.Uint64n(uint64(c.geo.NumLeaves()))))
+		c.busyUntil = end
+	}
+}
+
+// readPath performs the Ring ORAM read for addr: one slot per bucket along
+// path(label), shadow-aware, then remap; every A reads an EvictPath.
+func (c *Controller) readPath(start int64, addr uint32) (forward, end int64) {
+	label := c.pos.Label(addr)
+	forward, end = c.readPathAt(start, addr, label)
+
+	// Remap and make sure the block reached the stash.
+	newLabel := uint32(c.labelRNG.Uint64n(uint64(c.geo.NumLeaves())))
+	c.pos.SetLabel(addr, newLabel)
+	if _, ok := c.st.Lookup(addr); !ok {
+		c.stats.Anomalies++
+		c.st.Insert(stash.Entry{Meta: block.Meta{Kind: block.Real, Addr: addr, Label: newLabel}})
+	}
+	c.st.Relabel(addr, newLabel)
+
+	c.readCount++
+	if c.readCount%uint64(c.cfg.A) == 0 {
+		end = c.evictPath(end)
+	}
+	c.busyUntil = end
+	return forward, end
+}
+
+// readPathAt reads one slot per bucket along path(label). addr==NoAddr is a
+// dummy request: a random unread dummy per bucket, nothing collected.
+func (c *Controller) readPathAt(start int64, addr, label uint32) (forward, end int64) {
+	if c.observer != nil {
+		c.observer(oram.Event{Kind: oram.EvPathRead, Leaf: label, Start: start})
+	}
+	c.stats.Reads++
+	path := c.geo.Path(label, c.pathBuf)
+
+	type pick struct {
+		bucket, slot int
+		meta         block.Meta
+	}
+	var picks []pick
+	c.addrBuf = c.addrBuf[:0]
+	for _, b := range path {
+		s, m := c.pickSlot(b, addr)
+		if s < 0 {
+			// No valid slot left (all consumed): reshuffle immediately,
+			// then pick again.
+			start = c.reshuffle(start, b)
+			s, m = c.pickSlot(b, addr)
+			if s < 0 {
+				c.stats.Anomalies++
+				continue
+			}
+		}
+		i := c.geo.SlotIndex(b, s)
+		c.valid[i] = false
+		if m.Kind == block.Real {
+			c.realsAlive[b]--
+			c.slots[i] = 0 // the real block moves to the stash
+		} else {
+			c.dummiesUp[b]--
+		}
+		picks = append(picks, pick{b, s, m})
+		c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(b, s))
+	}
+
+	end = start + 1
+	if len(c.addrBuf) > 0 {
+		if c.cfg.XOR {
+			end = c.mem.ReadBatchOffBus(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+		} else {
+			end = c.mem.ReadBatch(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+		}
+	}
+	end += c.cfg.AESLatency
+
+	for pi, p := range picks {
+		arrival := c.doneBuf[pi] + c.cfg.AESLatency
+		if p.meta.Kind == block.Real && addr != oram.NoAddr && p.meta.Addr == addr {
+			if c.st.Insert(stash.Entry{Meta: p.meta}) == stash.Overflow {
+				c.stats.StashOverflows++
+			}
+			if forward == 0 {
+				forward = arrival
+			}
+		}
+		if p.meta.Kind == block.Shadow && addr != oram.NoAddr && p.meta.Addr == addr && forward == 0 {
+			forward = arrival
+			c.stats.ShadowForwards++
+		}
+	}
+
+	// Exhausted buckets reshuffle after the read completes.
+	for _, b := range path {
+		if c.dummiesUp[b] == 0 {
+			end = c.reshuffle(end, b)
+		}
+	}
+	if forward == 0 || c.cfg.XOR {
+		forward = end
+	}
+	return forward, end
+}
+
+// pickSlot chooses the slot to read in bucket b: the intended block's real
+// slot if resident, else a fresh shadow of the intended block, else a
+// random valid dummy-class slot. Returns -1 when nothing valid remains.
+func (c *Controller) pickSlot(b int, addr uint32) (int, block.Meta) {
+	nslots := c.cfg.Z + c.cfg.S
+	var dummySlots [16]int
+	nd := 0
+	shadowSlot := -1
+	var shadowMeta block.Meta
+	for s := 0; s < nslots; s++ {
+		i := c.geo.SlotIndex(b, s)
+		if !c.valid[i] {
+			continue
+		}
+		m := block.Unpack(c.slots[i])
+		if addr != oram.NoAddr && m.Addr == addr && m.Kind == block.Real {
+			return s, m
+		}
+		if m.Kind != block.Real {
+			if addr != oram.NoAddr && m.Kind == block.Shadow && m.Addr == addr {
+				if m.Label == c.pos.Label(addr) {
+					// A fresh shadow of the intended block: read it instead
+					// of a random dummy (indistinguishable, arrives
+					// earlier).
+					shadowSlot, shadowMeta = s, m
+				}
+				// A stale shadow of the intended block never serves, not
+				// even as a random dummy — its data predates a remap.
+				continue
+			}
+			dummySlots[nd] = s
+			nd++
+		}
+	}
+	if shadowSlot >= 0 {
+		return shadowSlot, shadowMeta
+	}
+	if nd == 0 {
+		return -1, block.Meta{}
+	}
+	s := dummySlots[c.slotRNG.Intn(nd)]
+	return s, block.Unpack(c.slots[c.geo.SlotIndex(b, s)])
+}
+
+// evictPath is Ring ORAM's read-write phase: collect the valid contents of
+// the next reverse-lexicographic path and rewrite it completely.
+func (c *Controller) evictPath(start int64) int64 {
+	leaf := c.geo.ReverseLexLeaf(c.evictCount)
+	c.evictCount++
+	c.stats.Evictions++
+	path := c.geo.Path(leaf, c.pathBuf)
+
+	// Read every slot of the path.
+	c.addrBuf = c.addrBuf[:0]
+	for _, b := range path {
+		for s := 0; s < c.cfg.Z+c.cfg.S; s++ {
+			c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(b, s))
+		}
+	}
+	end := c.mem.ReadBatch(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)]) + c.cfg.AESLatency
+	for _, b := range path {
+		c.collectBucket(b)
+	}
+
+	// Rewrite the path, deepest-first placement plus policy shadows.
+	end = c.writePath(end, leaf, path)
+	return end
+}
+
+// collectBucket moves a bucket's valid real blocks (and fresh shadows) into
+// the stash and empties it.
+func (c *Controller) collectBucket(b int) {
+	for s := 0; s < c.cfg.Z+c.cfg.S; s++ {
+		i := c.geo.SlotIndex(b, s)
+		if c.valid[i] {
+			m := block.Unpack(c.slots[i])
+			switch m.Kind {
+			case block.Real:
+				e := stash.Entry{Meta: m}
+				if c.st.Insert(e) == stash.Overflow {
+					c.stats.StashOverflows++
+				}
+			case block.Shadow:
+				if m.Label == c.pos.Label(m.Addr) {
+					e := stash.Entry{Meta: m, Priority: c.policy.ShadowPriority(m.Addr)}
+					c.st.Insert(e)
+				} else {
+					c.stats.StaleShadows++
+				}
+			}
+		}
+		c.slots[i] = 0
+		c.valid[i] = false
+	}
+	c.dummiesUp[b] = 0
+	c.realsAlive[b] = 0
+}
+
+// writePath refills the collected path: up to Z reals per bucket as deep as
+// their labels allow, remaining slots to the duplication policy or plain
+// dummies. Every slot becomes valid again (fresh permutation, re-encrypted).
+func (c *Controller) writePath(start int64, leaf uint32, path []int) int64 {
+	if c.observer != nil {
+		c.observer(oram.Event{Kind: oram.EvPathWrite, Leaf: leaf, Start: start})
+	}
+	c.policy.BeginPathWrite(leaf)
+	pools := c.poolsBuf
+	for i := range pools {
+		pools[i] = pools[i][:0]
+	}
+	c.st.ForEachReal(func(e stash.Entry) {
+		il := c.geo.IntersectLevel(e.Meta.Label, leaf)
+		pools[il] = append(pools[il], e.Meta.Addr)
+	})
+	for i := range pools {
+		sortAddrs(pools[i])
+	}
+
+	for lv := c.geo.L; lv >= 0; lv-- {
+		b := path[lv]
+		placedReals := 0
+		for s := 0; s < c.cfg.Z+c.cfg.S; s++ {
+			i := c.geo.SlotIndex(b, s)
+			c.valid[i] = true
+			if placedReals < c.cfg.Z {
+				if addr, ok := popDeepest(pools, lv, c.geo.L); ok {
+					e, ok2 := c.st.Take(addr)
+					if !ok2 {
+						c.stats.Anomalies++
+						c.slots[i] = 0
+						continue
+					}
+					c.slots[i] = e.Meta.Pack()
+					placedReals++
+					c.policy.NoteEvict(e.Meta, lv)
+					continue
+				}
+			}
+			if m, ok := c.policy.SelectDup(leaf, lv); ok {
+				c.slots[i] = m.Pack()
+				c.policy.NoteEvict(m, lv)
+				continue
+			}
+			c.slots[i] = 0
+		}
+		c.recountBucket(b)
+	}
+	c.policy.EndPathWrite()
+
+	c.addrBuf = c.addrBuf[:0]
+	for _, b := range path {
+		for s := 0; s < c.cfg.Z+c.cfg.S; s++ {
+			c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(b, s))
+		}
+	}
+	return c.mem.WriteBatch(start, c.addrBuf)
+}
+
+// reshuffle rewrites one exhausted bucket in place (Ring ORAM's early
+// reshuffle): its valid contents are collected and written back together
+// with fresh dummies/shadows.
+func (c *Controller) reshuffle(start int64, b int) int64 {
+	c.stats.Reshuffles++
+	nslots := c.cfg.Z + c.cfg.S
+	c.addrBuf = c.addrBuf[:0]
+	for s := 0; s < nslots; s++ {
+		c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(b, s))
+	}
+	end := c.mem.ReadBatch(start, c.addrBuf, c.doneBuf[:nslots]) + c.cfg.AESLatency
+
+	// Collect, then re-place the same bucket's reals locally.
+	var reals []block.Meta
+	for s := 0; s < nslots; s++ {
+		i := c.geo.SlotIndex(b, s)
+		if c.valid[i] {
+			m := block.Unpack(c.slots[i])
+			if m.Kind == block.Real {
+				reals = append(reals, m)
+			}
+			// Shadows and dummies are simply regenerated.
+		}
+		c.slots[i] = 0
+		c.valid[i] = true
+	}
+	lv := c.geo.BucketLevel(b)
+	leaf := c.bucketLeaf(b)
+	c.policy.BeginPathWrite(leaf)
+	for si, m := range reals {
+		c.slots[c.geo.SlotIndex(b, si)] = m.Pack()
+		c.policy.NoteEvict(m, lv)
+	}
+	for s := len(reals); s < nslots; s++ {
+		if m, ok := c.policy.SelectDup(leaf, lv); ok {
+			c.slots[c.geo.SlotIndex(b, s)] = m.Pack()
+			c.policy.NoteEvict(m, lv)
+		}
+	}
+	c.policy.EndPathWrite()
+	c.recountBucket(b)
+	return c.mem.WriteBatch(end, c.addrBuf)
+}
+
+// popDeepest pops an address from the deepest non-empty pool at or below
+// maxLevel that is still placeable at level lv.
+func popDeepest(pools [][]uint32, lv, maxLevel int) (uint32, bool) {
+	for d := maxLevel; d >= lv; d-- {
+		if n := len(pools[d]); n > 0 {
+			a := pools[d][n-1]
+			pools[d] = pools[d][:n-1]
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// bucketLeaf returns the leftmost leaf whose path passes through bucket b.
+func (c *Controller) bucketLeaf(b int) uint32 {
+	lv := c.geo.BucketLevel(b)
+	pos := b - ((1 << uint(lv)) - 1)
+	return uint32(pos) << uint(c.geo.L-lv)
+}
+
+func sortAddrs(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

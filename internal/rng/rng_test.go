@@ -1,0 +1,82 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a, b := NewSplitMix64(7), NewSplitMix64(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewSplitMix64(8)
+	if NewSplitMix64(7).Next() == c.Next() {
+		t.Fatal("different seeds produced the same first value")
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a, b := NewXoshiro(7), NewXoshiro(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	x := NewXoshiro(3)
+	f := func(n uint64) bool {
+		n = n%1000 + 1
+		v := x.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewXoshiro(1).Uint64n(0)
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	x := NewXoshiro(11)
+	const n, buckets, samples = 64, 8, 64000
+	var hist [buckets]int
+	for i := 0; i < samples; i++ {
+		hist[x.Uint64n(n)*buckets/n]++
+	}
+	for i, h := range hist {
+		if h < samples/buckets*8/10 || h > samples/buckets*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", i, h, samples/buckets)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro(5)
+	for i := 0; i < 10000; i++ {
+		v := x.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %f outside [0,1)", v)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	x := NewXoshiro(9)
+	for i := 0; i < 1000; i++ {
+		if v := x.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+}

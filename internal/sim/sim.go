@@ -1,0 +1,164 @@
+// Package sim assembles full systems — CPU model, cache hierarchy, memory
+// system — and runs workloads against them, producing the metric
+// decomposition the paper's evaluation reports: total execution time =
+// data access time + data request interval (eq. 1), energy, and hit rates.
+package sim
+
+import (
+	"fmt"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/dram"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/trace"
+)
+
+// Spec describes one run: a workload, a processor, and a memory system.
+type Spec struct {
+	Profile trace.Profile
+	CPU     cpu.Config
+	Refs    int    // memory references per core
+	Seed    uint64 // workload seed
+
+	// Memory system: Insecure bypasses ORAM entirely; otherwise ORAM is
+	// the controller configuration and Policy (nil = Tiny ORAM) selects
+	// the duplication scheme.
+	Insecure bool
+	ORAM     oram.Config
+	Policy   *core.Config
+}
+
+// Metrics is the outcome of one run.
+type Metrics struct {
+	Cycles     int64
+	DataAccess int64 // cycles spent serving real ORAM requests
+	DRI        int64 // everything else: idle, compute, dummy requests
+
+	CPU  cpu.Result
+	ORAM oram.Stats
+	Mem  dram.Stats
+
+	Energy        float64
+	OnChipHitRate float64
+	MeanPartition float64 // dynamic partitioning only
+}
+
+// oramMemory adapts an ORAM controller to the cpu.Memory interface,
+// folding trace block addresses into the data address space.
+type oramMemory struct {
+	ctrl  *oram.Controller
+	space uint32
+}
+
+func (m *oramMemory) Request(now int64, addr uint32, write bool) (int64, int64) {
+	out := m.ctrl.Request(now, addr%m.space, write)
+	return out.Forward, out.Done
+}
+
+// insecureMemory is the no-protection baseline: each LLC miss is one DRAM
+// block access.
+type insecureMemory struct {
+	mem        *dram.Memory
+	blockBytes int
+	busy       int64
+	lastFree   int64
+}
+
+func (m *insecureMemory) Request(now int64, addr uint32, write bool) (int64, int64) {
+	start := now
+	if m.lastFree > start {
+		start = m.lastFree
+	}
+	done := m.mem.Access(start, uint64(addr)*uint64(m.blockBytes), write, true)
+	m.busy += done - start
+	m.lastFree = done
+	return done, done
+}
+
+// Run executes one spec.
+func Run(spec Spec) (Metrics, error) {
+	if spec.Refs <= 0 {
+		return Metrics{}, fmt.Errorf("sim: Refs must be positive")
+	}
+	traces := make([][]trace.Access, spec.CPU.Cores)
+	for i := range traces {
+		tr, err := spec.Profile.Generate(spec.Refs, spec.Seed+uint64(i)*1000003)
+		if err != nil {
+			return Metrics{}, err
+		}
+		traces[i] = tr
+	}
+
+	if spec.Insecure {
+		mem := &insecureMemory{mem: dram.New(spec.ORAM.DRAM), blockBytes: spec.ORAM.BlockBytes}
+		res, err := cpu.Run(spec.CPU, traces, mem)
+		if err != nil {
+			return Metrics{}, err
+		}
+		st := mem.mem.Stats()
+		return Metrics{
+			Cycles:     res.Cycles,
+			DataAccess: mem.busy,
+			DRI:        res.Cycles - mem.busy,
+			CPU:        res,
+			Mem:        st,
+			Energy:     Energy(st, res.Cycles),
+		}, nil
+	}
+
+	var ctrl *oram.Controller
+	var pol *core.Policy
+	var err error
+	if spec.Policy == nil {
+		ctrl, err = oram.New(spec.ORAM, nil)
+	} else {
+		ctrl, pol, err = core.New(spec.ORAM, *spec.Policy)
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	mem := &oramMemory{ctrl: ctrl, space: uint32(ctrl.NumDataBlocks())}
+	res, err := cpu.Run(spec.CPU, traces, mem)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cycles := res.Cycles
+	if d := ctrl.Drain(); d > cycles {
+		cycles = d
+	}
+	ost := ctrl.Stats()
+	mst := ctrl.MemStats()
+	m := Metrics{
+		Cycles:     cycles,
+		DataAccess: ost.DataAccessCycles,
+		DRI:        cycles - ost.DataAccessCycles,
+		CPU:        res,
+		ORAM:       ost,
+		Mem:        mst,
+		Energy:     Energy(mst, cycles),
+	}
+	if ost.Requests > 0 {
+		m.OnChipHitRate = float64(ost.OnChipHits) / float64(ost.Requests)
+	}
+	if pol != nil {
+		m.MeanPartition = pol.MeanPartition()
+	}
+	return m, nil
+}
+
+// Energy model parameters (arbitrary consistent units, following the
+// activate/transfer/static decomposition of [16]): the evaluation only
+// consumes energy ratios.
+const (
+	eActivate = 8.0  // per row activation
+	eTransfer = 3.0  // per block read or written
+	pStatic   = 0.05 // per cycle (refresh + background)
+)
+
+// Energy computes memory-system energy for a run.
+func Energy(st dram.Stats, cycles int64) float64 {
+	return eActivate*float64(st.Activates) +
+		eTransfer*float64(st.Reads+st.Writes) +
+		pStatic*float64(cycles)
+}

@@ -1,0 +1,32 @@
+package stats
+
+import "strings"
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders vals as a unicode sparkline, scaled between the series'
+// min and max. A flat series renders as a line of middle blocks. It gives
+// the sweep experiments a shape-at-a-glance view in terminal output.
+func Spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}

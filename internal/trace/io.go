@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace file format is one access per line:
+//
+//	R 0001f3c0 120
+//	W 0001f3c1 80 dep nt
+//
+// kind, hexadecimal block address, decimal gap, then optional flags.
+// Lines starting with '#' are comments. The format is meant for replaying
+// externally captured miss streams through the simulator.
+
+// Write serialises accesses to w.
+func Write(w io.Writer, accesses []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# shadowblock trace v1: kind addr(hex) gap [dep] [nt]"); err != nil {
+		return err
+	}
+	for _, a := range accesses {
+		kind := "R"
+		if a.Write {
+			kind = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %08x %d", kind, a.Block, a.Gap); err != nil {
+			return err
+		}
+		if a.Dep {
+			if _, err := bw.WriteString(" dep"); err != nil {
+				return err
+			}
+		}
+		if a.NonTemporal {
+			if _, err := bw.WriteString(" nt"); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: want at least 3 fields, got %d", lineNo, len(fields))
+		}
+		var a Access
+		switch fields[0] {
+		case "R":
+		case "W":
+			a.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, fields[0])
+		}
+		blk, err := strconv.ParseUint(fields[1], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %w", lineNo, err)
+		}
+		a.Block = uint32(blk)
+		gap, err := strconv.ParseInt(fields[2], 10, 32)
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, fields[2])
+		}
+		a.Gap = int32(gap)
+		for _, f := range fields[3:] {
+			switch f {
+			case "dep":
+				a.Dep = true
+			case "nt":
+				a.NonTemporal = true
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown flag %q", lineNo, f)
+			}
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("mcf")
+	orig := p.MustGenerate(500, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("access %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(blocks []uint32, writeBits []bool) bool {
+		var acc []Access
+		for i, b := range blocks {
+			a := Access{Block: b, Gap: int32(i % 977)}
+			if i < len(writeBits) {
+				a.Write = writeBits[i]
+				a.Dep = !writeBits[i]
+			}
+			acc = append(acc, a)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, acc); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(acc) {
+			return len(acc) == 0 && len(got) == 0
+		}
+		for i := range got {
+			if got[i] != acc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"X 00000001 5",
+		"R zz 5",
+		"R 00000001 -2",
+		"R 00000001 5 wat",
+		"R 00000001",
+	}
+	for _, line := range bad {
+		if _, err := Read(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR 0000000a 5 dep\n# trailing\nW 0000000b 6 nt\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Dep || got[0].Block != 10 || !got[1].NonTemporal || !got[1].Write {
+		t.Fatalf("parsed %+v", got)
+	}
+}

@@ -1,0 +1,90 @@
+package tree
+
+// Layout maps buckets of an ORAM tree to physical DRAM byte addresses using
+// the subtree layout of Ren et al. (ISCA'13): the tree is partitioned into
+// aligned subtrees of SubtreeHeight levels, and each subtree's buckets are
+// stored contiguously so that one subtree fits inside (at most) one DRAM
+// row. A path access then touches roughly (L+1)/SubtreeHeight rows instead
+// of L+1, which is what makes high DRAM utilisation possible.
+type Layout struct {
+	geo           Geometry
+	BlockBytes    int // bytes per block (ciphertext)
+	SubtreeHeight int // levels per subtree
+	bucketBytes   int
+	subtreeBytes  int
+	// subtreeBuckets is the number of buckets in a full subtree,
+	// 2^SubtreeHeight - 1.
+	subtreeBuckets int
+}
+
+// NewLayout builds a subtree layout for geometry geo with the given block
+// size, choosing the largest subtree height whose buckets fit in rowBytes.
+func NewLayout(geo Geometry, blockBytes, rowBytes int) Layout {
+	bucketBytes := geo.Z * blockBytes
+	h := 1
+	for (1<<(h+1))-1 <= rowBytes/bucketBytes && h < geo.L+1 {
+		h++
+	}
+	// Subtrees are padded to the row size so each lives in exactly one DRAM
+	// row: a path access then opens one row per SubtreeHeight levels. The
+	// padding is the storage cost of the layout (Ren et al. size subtrees
+	// to rows for the same reason).
+	stride := ((1 << h) - 1) * bucketBytes
+	if stride < rowBytes {
+		stride = rowBytes
+	}
+	return Layout{
+		geo:            geo,
+		BlockBytes:     blockBytes,
+		SubtreeHeight:  h,
+		bucketBytes:    bucketBytes,
+		subtreeBuckets: (1 << h) - 1,
+		subtreeBytes:   stride,
+	}
+}
+
+// BucketAddr returns the physical byte address of the first block of the
+// given bucket.
+//
+// Subtrees are numbered breadth-first: the subtree containing the root is 0;
+// at each subtree boundary a bucket's subtree is identified by walking the
+// tree coordinates. Buckets within a subtree are stored in local heap order.
+func (ly Layout) BucketAddr(bucket int) uint64 {
+	level := ly.geo.BucketLevel(bucket)
+	pos := bucket - ((1 << level) - 1) // position within level
+
+	h := ly.SubtreeHeight
+	// Which band of subtrees does this level fall into, and at which level
+	// within its subtree?
+	band := level / h
+	local := level % h
+
+	// The root bucket of this bucket's subtree is at level band*h, position
+	// pos >> local.
+	subRootPos := pos >> uint(local)
+
+	// Number the subtrees: all subtrees in shallower bands come first, then
+	// subtrees within this band in position order.
+	var before int
+	for b := 0; b < band; b++ {
+		before += 1 << uint(b*h)
+	}
+	subtreeIdx := before + subRootPos
+
+	// Local heap index of the bucket within its subtree.
+	localIdx := (1 << uint(local)) - 1 + (pos - subRootPos<<uint(local))
+
+	return uint64(subtreeIdx)*uint64(ly.subtreeBytes) + uint64(localIdx)*uint64(ly.bucketBytes)
+}
+
+// SlotAddr returns the physical byte address of slot s of bucket b.
+func (ly Layout) SlotAddr(bucket, slot int) uint64 {
+	return ly.BucketAddr(bucket) + uint64(slot)*uint64(ly.BlockBytes)
+}
+
+// TotalBytes returns the physical footprint of the whole tree.
+func (ly Layout) TotalBytes() uint64 {
+	// Address one past the last slot of the last bucket.
+	last := ly.geo.NumBuckets() - 1
+	return ly.SlotAddr(last, ly.geo.Z-1) + uint64(ly.BlockBytes)
+}
