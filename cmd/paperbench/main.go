@@ -7,6 +7,11 @@
 //	paperbench                 # everything at publication scale
 //	paperbench -quick          # fast smoke run
 //	paperbench -only fig9      # one experiment
+//	paperbench -metrics m.json -trace t.json -obs-bench mcf
+//
+// -metrics/-trace run one additional instrumented cell (workload
+// -obs-bench under scheme -obs-scheme) and emit its metrics JSON report
+// and Chrome trace; -pprof profiles the whole sweep live.
 package main
 
 import (
@@ -17,7 +22,10 @@ import (
 	"strings"
 	"time"
 
+	"shadowblock/internal/cpu"
 	"shadowblock/internal/experiments"
+	"shadowblock/internal/metrics"
+	"shadowblock/internal/trace"
 )
 
 func main() {
@@ -25,7 +33,19 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (tableI, fig6, fig8, ... fig19, ablation)")
 	out := flag.String("out", "results", "output directory ('' = stdout only)")
 	refs := flag.Int("refs", 0, "override references per run")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON report of the observation cell to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the observation cell to this file")
+	obsBench := flag.String("obs-bench", "hmmer", "workload of the observation cell")
+	obsScheme := flag.String("obs-scheme", "dynamic-3", "scheme of the observation cell")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := metrics.ServePProf(*pprofAddr); err != nil {
+			fatal(fmt.Errorf("pprof: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: pprof on http://%s/debug/pprof\n", *pprofAddr)
+	}
 
 	r := experiments.Default()
 	if *quick {
@@ -33,6 +53,12 @@ func main() {
 	}
 	if *refs > 0 {
 		r.Refs = *refs
+	}
+
+	if *metricsOut != "" || *traceOut != "" {
+		if err := observe(r, *obsBench, *obsScheme, *metricsOut, *traceOut); err != nil {
+			fatal(err)
+		}
 	}
 
 	type exp struct {
@@ -81,6 +107,39 @@ func main() {
 			}
 		}
 	}
+}
+
+// observe runs the single instrumented (bench, scheme) cell and writes its
+// metrics report and/or Chrome trace.
+func observe(r experiments.Runner, bench, scheme, metricsOut, traceOut string) error {
+	p, ok := trace.ByName(bench)
+	if !ok {
+		return fmt.Errorf("observe: unknown benchmark %q", bench)
+	}
+	s, err := experiments.ParseScheme(scheme)
+	if err != nil {
+		return err
+	}
+	col := metrics.New(metrics.Options{Tracing: traceOut != ""})
+	start := time.Now()
+	m, err := r.Observe(p, cpu.InOrder(), s, col)
+	if err != nil {
+		return err
+	}
+	lat := m.ReqLatency
+	fmt.Printf("== observe %s/%s (%.1fs) ==\nreq latency p50 %d, p90 %d, p99 %d, max %d over %d requests\n\n",
+		bench, scheme, time.Since(start).Seconds(), lat.P50, lat.P90, lat.P99, lat.Max, lat.Count)
+	if metricsOut != "" {
+		if err := m.Obs.WriteFile(metricsOut); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := col.WriteTraceFile(traceOut, map[string]string{"bench": bench, "scheme": scheme}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type renderer interface{ Render() string }

@@ -7,6 +7,12 @@
 //	shadowsim -bench hmmer -scheme dynamic-3 -tp
 //	shadowsim -bench mcf -scheme static-7
 //	shadowsim -bench namd -scheme insecure
+//	shadowsim -bench hmmer -scheme dynamic-3 -metrics m.json -trace t.json
+//
+// With -metrics the run additionally emits a machine-readable JSON report
+// (latency percentiles, epoch time-series, counters); with -trace it emits
+// a Chrome trace-event JSON of request lifecycles loadable in Perfetto.
+// See the README's "Observability" section for the schemas.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
 	"shadowblock/internal/sim"
 	"shadowblock/internal/trace"
@@ -33,7 +40,19 @@ func main() {
 	xor := flag.Bool("xor", false, "XOR compression comparator")
 	cpuType := flag.String("cpu", "inorder", "inorder | o3")
 	level := flag.Int("L", 0, "override tree leaf level (default 18)")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON report to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	window := flag.Int64("metrics-window", 0, "time-series window in cycles (0 = default)")
+	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity in events (0 = default)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := metrics.ServePProf(*pprofAddr); err != nil {
+			fail(fmt.Errorf("pprof: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "shadowsim: pprof on http://%s/debug/pprof\n", *pprofAddr)
+	}
 
 	p, ok := trace.ByName(*bench)
 	if !ok {
@@ -85,6 +104,16 @@ func main() {
 		fail(fmt.Errorf("unknown scheme %q", *scheme))
 	}
 
+	var col *metrics.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = metrics.New(metrics.Options{
+			WindowCycles:  *window,
+			Tracing:       *traceOut != "",
+			TraceCapacity: *traceCap,
+		})
+		spec.Metrics = col
+	}
+
 	m, err := sim.Run(spec)
 	if err != nil {
 		fail(err)
@@ -104,14 +133,41 @@ func main() {
 			o.Requests, o.StashHits, o.ShadowStashHits, m.OnChipHitRate)
 		fmt.Printf("ORAM accesses   %d (pm %d, dummies %d, evictions %d, shadow forwards %d)\n",
 			o.ORAMAccesses, o.PMAccesses, o.DummyAccesses, o.EvictionPhases, o.ShadowForwards)
-		fmt.Printf("DRAM            reads %d, writes %d, row hit rate %.2f\n",
-			m.Mem.Reads, m.Mem.Writes,
-			float64(m.Mem.RowHits)/float64(m.Mem.RowHits+m.Mem.RowMisses))
+		rowRate := "n/a"
+		if rows := m.Mem.RowHits + m.Mem.RowMisses; rows > 0 {
+			rowRate = fmt.Sprintf("%.2f", float64(m.Mem.RowHits)/float64(rows))
+		}
+		fmt.Printf("DRAM            reads %d, writes %d, row hit rate %s\n",
+			m.Mem.Reads, m.Mem.Writes, rowRate)
 		if o.StashOverflows > 0 || o.Anomalies > 0 {
 			fmt.Printf("WARNING         overflows=%d anomalies=%d\n", o.StashOverflows, o.Anomalies)
 		}
 		if m.MeanPartition > 0 {
 			fmt.Printf("mean partition  %.1f\n", m.MeanPartition)
+		}
+	}
+	if col != nil {
+		if lat := m.ReqLatency; lat.Count > 0 {
+			fmt.Printf("req latency     p50 %d, p90 %d, p99 %d, max %d (mean %.0f over %d requests)\n",
+				lat.P50, lat.P90, lat.P99, lat.Max, lat.Mean, lat.Count)
+		}
+		if m.Obs != nil {
+			m.Obs.Labels["scheme"] = *scheme
+		}
+		if *metricsOut != "" {
+			if err := m.Obs.WriteFile(*metricsOut); err != nil {
+				fail(err)
+			}
+			fmt.Printf("metrics         %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := col.WriteTraceFile(*traceOut, map[string]string{
+				"bench": p.Name, "scheme": *scheme,
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("trace           %s (%d events, %d dropped by the ring)\n",
+				*traceOut, col.Trace.Len(), col.Trace.Dropped())
 		}
 	}
 }

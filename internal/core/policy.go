@@ -23,6 +23,7 @@ import (
 
 	"shadowblock/internal/block"
 	"shadowblock/internal/cache"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
 	"shadowblock/internal/stash"
 	"shadowblock/internal/tree"
@@ -139,6 +140,8 @@ type Policy struct {
 	rdShadows, hdShadows uint64
 	partitionSum         uint64
 	partitionSamples     uint64
+
+	mc *metrics.Collector
 }
 
 var _ oram.DupPolicy = (*Policy)(nil)
@@ -212,6 +215,10 @@ func (p *Policy) bind(geo tree.Geometry, st *stash.Stash) {
 // Partition returns the current partitioning level (levels below it use
 // HD-Dup).
 func (p *Policy) Partition() int { return p.partition }
+
+// SetMetrics attaches an observability collector (nil detaches it): the
+// policy counts shadow creation per scheme and partition-step direction.
+func (p *Policy) SetMetrics(mc *metrics.Collector) { p.mc = mc }
 
 // ShadowCounts returns how many shadows each scheme has created.
 func (p *Policy) ShadowCounts() (rd, hd uint64) { return p.rdShadows, p.hdShadows }
@@ -317,8 +324,10 @@ func (p *Policy) SelectDup(leaf uint32, level int) (block.Meta, bool) {
 	}
 	if useHD {
 		p.hdShadows++
+		p.mc.Count("hd_shadows", 1)
 	} else {
 		p.rdShadows++
+		p.mc.Count("rd_shadows", 1)
 	}
 	return m, true
 }
@@ -391,9 +400,11 @@ func (p *Policy) NoteORAMRequest(dummy bool) {
 	if p.counter < (p.counterMax+1)/2 {
 		if p.partition < p.geo.L+1 {
 			p.partition++
+			p.mc.Count("partition_up", 1)
 		}
 	} else if p.partition > 0 {
 		p.partition--
+		p.mc.Count("partition_down", 1)
 	}
 	p.partitionSum += uint64(p.partition)
 	p.partitionSamples++

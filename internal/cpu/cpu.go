@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"shadowblock/internal/cache"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/trace"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	LineBytes       int
 	L1Latency       int64
 	L2Latency       int64
+
+	// Metrics, when set, receives the LLC miss latency distribution: each
+	// core records into its own histogram and Run merges them at the end,
+	// so the collector stays single-writer. Nil disables the probe.
+	Metrics *metrics.Collector
 }
 
 // InOrder returns Table I's in-order single-core Alpha configuration.
@@ -84,6 +90,7 @@ type coreState struct {
 	lastForward int64   // data-return time of the most recent miss
 	outstanding []int64 // forward times of in-flight misses (OOO)
 	l1          *cache.Cache
+	miss        *metrics.Histogram // per-core miss latency; nil when metrics off
 }
 
 // Run plays one trace per core against mem and returns aggregate counters.
@@ -107,6 +114,9 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 			return Result{}, err
 		}
 		cores[i] = &coreState{trace: traces[i], l1: l1}
+		if cfg.Metrics != nil {
+			cores[i].miss = metrics.NewHistogram()
+		}
 	}
 
 	var res Result
@@ -185,12 +195,14 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 				c.outstanding = c.outstanding[1:]
 			}
 			forward, _ := mem.Request(now, acc.Block, acc.Write)
+			c.miss.Record(forward - now)
 			c.outstanding = append(c.outstanding, forward)
 			c.lastForward = forward
 			c.ready = now // issue more work while the miss is in flight
 			last = max64(last, forward)
 		} else {
 			forward, _ := mem.Request(now, acc.Block, acc.Write)
+			c.miss.Record(forward - now)
 			c.lastForward = forward
 			c.ready = forward
 			last = max64(last, forward)
@@ -200,6 +212,11 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 	for _, cs := range cores {
 		for _, f := range cs.outstanding {
 			last = max64(last, f)
+		}
+	}
+	if cfg.Metrics != nil {
+		for _, cs := range cores {
+			cfg.Metrics.MissLatency.Merge(cs.miss)
 		}
 	}
 	res.Cycles = last

@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/trace"
 )
 
@@ -178,5 +179,42 @@ func TestNonTemporalStillHitsResidentLines(t *testing.T) {
 	}
 	if res.LLCMisses != 1 || res.L1Hits != 1 {
 		t.Fatalf("misses=%d l1=%d, want 1/1", res.LLCMisses, res.L1Hits)
+	}
+}
+
+func TestMissLatencyMergedAcrossCores(t *testing.T) {
+	// Four cores record per-core miss histograms; Run merges them into the
+	// collector. Every LLC miss (demand misses only — writebacks are fire-
+	// and-forget) must be accounted, with the flat memory's latency.
+	p := trace.Profile{Name: "big", FootprintBlocks: 1 << 16, MeanGap: 2}
+	cfg := O3()
+	cfg.Metrics = metrics.New(metrics.Options{})
+	traces := make([][]trace.Access, cfg.Cores)
+	for i := range traces {
+		traces[i] = genTrace(p, 3000, uint64(i+1))
+	}
+	mem := &flatMemory{latency: 500}
+	res, err := Run(cfg, traces, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LLCMisses == 0 {
+		t.Fatal("no misses to merge")
+	}
+	h := cfg.Metrics.MissLatency
+	if h.Count() != res.LLCMisses {
+		t.Fatalf("merged histogram has %d samples, want %d misses", h.Count(), res.LLCMisses)
+	}
+	// Flat memory: every miss takes exactly latency cycles beyond issue.
+	if h.Min() != 500 || h.Max() != 500 {
+		t.Fatalf("flat-latency histogram spans [%d,%d], want [500,500]", h.Min(), h.Max())
+	}
+}
+
+func TestRunWithoutMetricsRecordsNothing(t *testing.T) {
+	p := trace.Profile{Name: "big", FootprintBlocks: 1 << 16, MeanGap: 2}
+	mem := &flatMemory{latency: 500}
+	if _, err := Run(InOrder(), [][]trace.Access{genTrace(p, 2000, 1)}, mem); err != nil {
+		t.Fatal(err)
 	}
 }

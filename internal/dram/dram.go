@@ -109,6 +109,20 @@ func (m *Memory) Config() Config { return m.cfg }
 // Stats returns a copy of the accumulated statistics.
 func (m *Memory) Stats() Stats { return m.stats }
 
+// Backlog reports how many cycles of already-committed data-bus work
+// remain at cycle now: the furthest-ahead channel's bus reservation. It is
+// the observability layer's DRAM queue-depth signal (a request issued at
+// now waits at least this long for the bus alone).
+func (m *Memory) Backlog(now int64) int64 {
+	var worst int64
+	for i := range m.channels {
+		if d := m.channels[i].busFreeAt - now; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // mapAddr decomposes a physical byte address. Rows are interleaved across
 // channels first and banks second, so that consecutive subtrees of the ORAM
 // layout land on different channels/banks and a path access enjoys

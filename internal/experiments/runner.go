@@ -5,11 +5,15 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
 	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
 	"shadowblock/internal/sim"
 	"shadowblock/internal/trace"
@@ -54,13 +58,42 @@ func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
 	return Scheme{Name: name, TP: tp, Policy: &c}
 }
 
-// Run executes one (workload, scheme) cell.
-func (r Runner) Run(p trace.Profile, cpuCfg cpu.Config, s Scheme) (sim.Metrics, error) {
+// ParseScheme maps a scheme name — the cmd/shadowsim vocabulary: insecure,
+// tiny, rd, hd, static-N, dynamic-N — to its Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch {
+	case name == "insecure":
+		return schemeInsecure(), nil
+	case name == "tiny":
+		return schemeTiny(false), nil
+	case name == "rd":
+		return schemePolicy("rd", false, core.RDOnly()), nil
+	case name == "hd":
+		return schemePolicy("hd", false, core.HDOnly()), nil
+	case strings.HasPrefix(name, "static-"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "static-"))
+		if err != nil {
+			return Scheme{}, fmt.Errorf("experiments: bad scheme %q: %w", name, err)
+		}
+		return schemePolicy(name, false, core.Static(n)), nil
+	case strings.HasPrefix(name, "dynamic-"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "dynamic-"))
+		if err != nil {
+			return Scheme{}, fmt.Errorf("experiments: bad scheme %q: %w", name, err)
+		}
+		return schemePolicy(name, false, core.Dynamic(n)), nil
+	default:
+		return Scheme{}, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// spec assembles the sim.Spec of one (workload, scheme) cell.
+func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
 	ocfg := oram.Default()
 	ocfg.TimingProtection = s.TP
 	ocfg.TreetopLevels = s.Treetop
 	ocfg.XOR = s.XOR
-	spec := sim.Spec{
+	return sim.Spec{
 		Profile:  p,
 		CPU:      cpuCfg,
 		Refs:     r.Refs,
@@ -69,7 +102,24 @@ func (r Runner) Run(p trace.Profile, cpuCfg cpu.Config, s Scheme) (sim.Metrics, 
 		ORAM:     ocfg,
 		Policy:   s.Policy,
 	}
-	return sim.Run(spec)
+}
+
+// Run executes one (workload, scheme) cell.
+func (r Runner) Run(p trace.Profile, cpuCfg cpu.Config, s Scheme) (sim.Metrics, error) {
+	return sim.Run(r.spec(p, cpuCfg, s))
+}
+
+// Observe executes one cell with the observability collector attached:
+// the returned metrics carry the latency digest and Obs report, and col's
+// trace recorder (when tracing) holds the request lifecycles.
+func (r Runner) Observe(p trace.Profile, cpuCfg cpu.Config, s Scheme, col *metrics.Collector) (sim.Metrics, error) {
+	spec := r.spec(p, cpuCfg, s)
+	spec.Metrics = col
+	m, err := sim.Run(spec)
+	if err == nil && m.Obs != nil {
+		m.Obs.Labels["scheme"] = s.Name
+	}
+	return m, err
 }
 
 // cell identifies one unit of work in a parallel sweep.

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Schema identifies the metrics JSON layout. Bump on incompatible change.
+const Schema = "shadowblock-metrics/v1"
+
+// LatencyReport is one histogram in the JSON export: the digest plus the
+// non-empty buckets (le = inclusive upper bound of each bucket).
+type LatencyReport struct {
+	LatencySummary
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// SeriesReport is one time-series in the JSON export.
+type SeriesReport struct {
+	Name         string        `json:"name"`
+	WindowCycles int64         `json:"window_cycles"`
+	Summary      SeriesSummary `json:"summary"`
+	Points       []Point       `json:"points"`
+}
+
+// Report is the machine-readable outcome of one instrumented run. See the
+// README's "Observability" section for the field-by-field schema.
+type Report struct {
+	Schema   string                   `json:"schema"`
+	Labels   map[string]string        `json:"labels,omitempty"`
+	Cycles   int64                    `json:"cycles"`
+	Latency  map[string]LatencyReport `json:"latency"`
+	Series   []SeriesReport           `json:"series"`
+	Counters map[string]uint64        `json:"counters,omitempty"`
+}
+
+// Report digests the collector into its exportable form. labels annotate
+// the run (bench, scheme, seed, ...).
+func (c *Collector) Report(cycles int64, labels map[string]string) *Report {
+	if c == nil {
+		return nil
+	}
+	r := &Report{
+		Schema:  Schema,
+		Labels:  labels,
+		Cycles:  cycles,
+		Latency: make(map[string]LatencyReport),
+	}
+	for name, h := range map[string]*Histogram{
+		"request_forward":  c.ReqForward,
+		"request_complete": c.ReqComplete,
+		"llc_miss":         c.MissLatency,
+	} {
+		if h.Count() == 0 {
+			continue
+		}
+		r.Latency[name] = LatencyReport{LatencySummary: h.Summary(), Buckets: h.Buckets()}
+	}
+	for _, s := range c.TS.All() {
+		pts := s.Points()
+		if len(pts) == 0 {
+			continue
+		}
+		r.Series = append(r.Series, SeriesReport{
+			Name:         s.Name,
+			WindowCycles: c.TS.Window,
+			Summary:      s.Summary(),
+			Points:       pts,
+		})
+	}
+	if len(c.counters) > 0 {
+		r.Counters = make(map[string]uint64, len(c.counters))
+		for k, v := range c.counters {
+			r.Counters[k] = v
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report, indented for humans, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to a file.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTraceFile writes the recorder's Chrome trace to a file. A collector
+// without tracing (or a nil collector) writes a valid empty trace.
+func (c *Collector) WriteTraceFile(path string, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var rec *Recorder
+	if c != nil {
+		rec = c.Trace
+	}
+	if err := rec.WriteTrace(f, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

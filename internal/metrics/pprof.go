@@ -1,0 +1,21 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+)
+
+// ServePProf starts a net/http/pprof endpoint on addr (e.g.
+// "localhost:6060") in a background goroutine, so long simulations can be
+// profiled live (`go tool pprof http://addr/debug/pprof/profile`). The
+// listen error is returned synchronously; serve errors after that are
+// ignored because the process is exiting anyway when they occur.
+func ServePProf(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return nil
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import "shadowblock/internal/stats"
+
+// DefaultWindowCycles is the epoch width used when the caller does not pick
+// one: wide enough that a paper-scale run produces a few hundred points,
+// narrow enough to show dynamic partitioning adapt within a run.
+const DefaultWindowCycles = 1 << 18
+
+// winAgg accumulates the observations of one epoch window.
+type winAgg struct {
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Series is one named cycle-windowed signal: every observation lands in the
+// window floor(now/Window), and each window keeps count/sum/min/max so the
+// export can show both the mean trajectory and the envelope.
+type Series struct {
+	Name   string
+	window int64
+	wins   []winAgg
+	filled []bool
+}
+
+// Observe records value v at simulated cycle now.
+func (s *Series) Observe(now int64, v float64) {
+	if s == nil {
+		return
+	}
+	if now < 0 {
+		now = 0
+	}
+	idx := int(now / s.window)
+	for len(s.wins) <= idx {
+		s.wins = append(s.wins, winAgg{})
+		s.filled = append(s.filled, false)
+	}
+	w := &s.wins[idx]
+	if !s.filled[idx] {
+		s.filled[idx] = true
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	w.count++
+	w.sum += v
+}
+
+// Point is one exported window of a series.
+type Point struct {
+	Start int64   `json:"start"` // first cycle of the window
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Count uint64  `json:"count"`
+}
+
+// Points returns the non-empty windows in time order.
+func (s *Series) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	var out []Point
+	for i, w := range s.wins {
+		if w.count == 0 {
+			continue
+		}
+		out = append(out, Point{
+			Start: int64(i) * s.window,
+			Mean:  w.sum / float64(w.count),
+			Min:   w.min,
+			Max:   w.max,
+			Count: w.count,
+		})
+	}
+	return out
+}
+
+// SeriesSummary digests a series over its per-window means.
+type SeriesSummary struct {
+	Windows uint64  `json:"windows"`
+	Mean    float64 `json:"mean"`
+	Stddev  float64 `json:"stddev"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+}
+
+// Summary digests the per-window means with the stats helpers. An empty
+// series summarises to zeroes (never NaN).
+func (s *Series) Summary() SeriesSummary {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return SeriesSummary{}
+	}
+	means := make([]float64, len(pts))
+	for i, p := range pts {
+		means[i] = p.Mean
+	}
+	return SeriesSummary{
+		Windows: uint64(len(pts)),
+		Mean:    stats.Mean(means),
+		Stddev:  stats.Stddev(means),
+		Min:     stats.Min(means),
+		Max:     stats.Max(means),
+		P50:     stats.Percentile(means, 0.5),
+	}
+}
+
+// TimeSeries is an ordered registry of Series sharing one window width.
+type TimeSeries struct {
+	Window int64
+	list   []*Series
+	byName map[string]*Series
+}
+
+// NewTimeSeries builds a registry with the given window width in cycles
+// (<= 0 selects DefaultWindowCycles).
+func NewTimeSeries(windowCycles int64) *TimeSeries {
+	if windowCycles <= 0 {
+		windowCycles = DefaultWindowCycles
+	}
+	return &TimeSeries{Window: windowCycles, byName: make(map[string]*Series)}
+}
+
+// Series returns the named series, creating it on first use. Registration
+// order is preserved in the export.
+func (t *TimeSeries) Series(name string) *Series {
+	if t == nil {
+		return nil
+	}
+	if s, ok := t.byName[name]; ok {
+		return s
+	}
+	s := &Series{Name: name, window: t.Window}
+	t.byName[name] = s
+	t.list = append(t.list, s)
+	return s
+}
+
+// All returns every registered series in registration order.
+func (t *TimeSeries) All() []*Series {
+	if t == nil {
+		return nil
+	}
+	return t.list
+}

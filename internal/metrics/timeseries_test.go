@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesWindowing(t *testing.T) {
+	ts := NewTimeSeries(100)
+	s := ts.Series("x")
+	s.Observe(0, 1)
+	s.Observe(99, 3)   // same window
+	s.Observe(250, 10) // window 2; window 1 stays empty
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2 (empty windows skipped)", len(pts))
+	}
+	if pts[0].Start != 0 || pts[0].Count != 2 || pts[0].Mean != 2 || pts[0].Min != 1 || pts[0].Max != 3 {
+		t.Fatalf("window 0 wrong: %+v", pts[0])
+	}
+	if pts[1].Start != 200 || pts[1].Count != 1 || pts[1].Mean != 10 {
+		t.Fatalf("window 2 wrong: %+v", pts[1])
+	}
+}
+
+func TestSeriesMinMaxWithNegatives(t *testing.T) {
+	ts := NewTimeSeries(10)
+	s := ts.Series("neg")
+	s.Observe(1, -5)
+	s.Observe(2, -7)
+	pts := s.Points()
+	if pts[0].Min != -7 || pts[0].Max != -5 {
+		t.Fatalf("negative envelope wrong: %+v", pts[0])
+	}
+}
+
+func TestSeriesSummaryUsesWindowMeans(t *testing.T) {
+	ts := NewTimeSeries(10)
+	s := ts.Series("x")
+	s.Observe(5, 2)  // window 0 mean 2
+	s.Observe(15, 4) // window 1 mean 4
+	s.Observe(25, 6) // window 2 mean 6
+	sum := s.Summary()
+	if sum.Windows != 3 || sum.Mean != 4 || sum.Min != 2 || sum.Max != 6 || sum.P50 != 4 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	if math.Abs(sum.Stddev-math.Sqrt(8.0/3)) > 1e-9 {
+		t.Fatalf("stddev wrong: %g", sum.Stddev)
+	}
+}
+
+func TestSeriesEmptyAndNil(t *testing.T) {
+	var s *Series
+	s.Observe(0, 1) // must not panic
+	if s.Points() != nil {
+		t.Fatal("nil series has points")
+	}
+	var ts *TimeSeries
+	if ts.Series("x") != nil || ts.All() != nil {
+		t.Fatal("nil registry not inert")
+	}
+	empty := NewTimeSeries(0).Series("e")
+	if sum := empty.Summary(); sum != (SeriesSummary{}) {
+		t.Fatalf("empty summary not zero: %+v", sum)
+	}
+}
+
+func TestRegistryOrderAndDedup(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.Window != DefaultWindowCycles {
+		t.Fatalf("default window = %d", ts.Window)
+	}
+	a := ts.Series("a")
+	ts.Series("b")
+	if ts.Series("a") != a {
+		t.Fatal("re-registration created a new series")
+	}
+	all := ts.All()
+	if len(all) != 2 || all[0].Name != "a" || all[1].Name != "b" {
+		t.Fatalf("registration order lost: %v", all)
+	}
+}
+
+func TestCollectorCountersAndNil(t *testing.T) {
+	var nilC *Collector
+	nilC.Count("x", 1)
+	nilC.Observe("y", 0, 1)
+	if nilC.Enabled() || nilC.Counter("x") != 0 || nilC.Report(1, nil) != nil {
+		t.Fatal("nil collector not inert")
+	}
+	c := New(Options{})
+	c.Count("x", 2)
+	c.Count("x", 3)
+	if c.Counter("x") != 5 {
+		t.Fatalf("counter = %d", c.Counter("x"))
+	}
+	if c.Trace != nil {
+		t.Fatal("tracing on without request")
+	}
+	if New(Options{Tracing: true}).Trace == nil {
+		t.Fatal("tracing not enabled")
+	}
+}
+
+func TestReportSkipsEmptySections(t *testing.T) {
+	c := New(Options{})
+	r := c.Report(123, map[string]string{"bench": "x"})
+	if r.Cycles != 123 || r.Schema != Schema {
+		t.Fatalf("header wrong: %+v", r)
+	}
+	if len(r.Latency) != 0 || len(r.Series) != 0 || r.Counters != nil {
+		t.Fatalf("empty collector produced sections: %+v", r)
+	}
+	c.ReqForward.Record(10)
+	c.Observe("s", 0, 1)
+	c.Count("k", 1)
+	r = c.Report(123, nil)
+	if _, ok := r.Latency["request_forward"]; !ok {
+		t.Fatal("request_forward missing")
+	}
+	if len(r.Series) != 1 || r.Series[0].Name != "s" || r.Counters["k"] != 1 {
+		t.Fatalf("report wrong: %+v", r)
+	}
+}

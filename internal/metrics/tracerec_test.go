@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 10; i++ {
+		r.Instant("e", "c", 0, i, nil)
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len/total/dropped = %d/%d/%d", r.Len(), r.Total(), r.Dropped())
+	}
+	ev := r.Events()
+	// The newest four events survive, in timestamp order.
+	for i, e := range ev {
+		if e.TS != int64(6+i) {
+			t.Fatalf("event %d has ts %d, want %d", i, e.TS, 6+i)
+		}
+	}
+}
+
+func TestRecorderEventKinds(t *testing.T) {
+	r := NewRecorder(0)
+	r.Span("s", "cat", 1, 10, 25, map[string]any{"k": 1})
+	r.Span("backwards", "cat", 1, 30, 20, nil) // negative duration clamps
+	r.Instant("i", "cat", 2, 5, nil)
+	r.Counter("c", 0, 7, map[string]any{"v": 3})
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	// Sorted by ts: instant(5), counter(7), span(10), backwards(30).
+	if ev[0].Ph != "i" || ev[0].S != "t" {
+		t.Fatalf("instant wrong: %+v", ev[0])
+	}
+	if ev[1].Ph != "C" {
+		t.Fatalf("counter wrong: %+v", ev[1])
+	}
+	if ev[2].Ph != "X" || ev[2].Dur != 15 {
+		t.Fatalf("span wrong: %+v", ev[2])
+	}
+	if ev[3].Dur != 0 {
+		t.Fatalf("negative duration not clamped: %+v", ev[3])
+	}
+}
+
+// chromeFile mirrors the trace-event JSON object form for decoding.
+type chromeFile struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	r := NewRecorder(8)
+	r.Span("request", "oram", 0, 0, 100, map[string]any{"req": 1})
+	r.Instant("forward", "oram", 0, 60, nil)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf, map[string]string{"bench": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d", len(f.TraceEvents))
+	}
+	for _, e := range f.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, e)
+			}
+		}
+	}
+}
+
+func TestWriteTraceEmptyAndNil(t *testing.T) {
+	// An empty recorder — and even a nil one — must still emit a valid,
+	// loadable trace with an empty (not null) traceEvents array.
+	for _, r := range []*Recorder{nil, NewRecorder(4)} {
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		var f struct {
+			TraceEvents []any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+			t.Fatalf("empty trace invalid: %v", err)
+		}
+		if f.TraceEvents == nil {
+			t.Fatalf("traceEvents is null in %s", buf.String())
+		}
+		if len(f.TraceEvents) != 0 {
+			t.Fatalf("empty recorder emitted events: %s", buf.String())
+		}
+	}
+	var nilR *Recorder
+	nilR.Span("x", "", 0, 0, 1, nil) // must not panic
+	nilR.Instant("x", "", 0, 0, nil)
+	nilR.Counter("x", 0, 0, nil)
+	if nilR.Len() != 0 || nilR.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"shadowblock/internal/cache"
 	"shadowblock/internal/crypt"
 	"shadowblock/internal/dram"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/posmap"
 	"shadowblock/internal/rng"
 	"shadowblock/internal/stash"
@@ -103,8 +104,10 @@ type Controller struct {
 
 	stats        Stats
 	observer     func(Event)
-	pendingWrite []byte // payload for an in-flight WriteBlock
-	lastRead     []byte // payload captured by the last functional access
+	mc           *metrics.Collector
+	partitionOf  func() int // policy's partition level, when it has one
+	pendingWrite []byte     // payload for an in-flight WriteBlock
+	lastRead     []byte     // payload captured by the last functional access
 
 	// Scratch buffers (the controller is single-threaded by design: it
 	// models serial hardware).
@@ -249,6 +252,17 @@ func (c *Controller) sealZero() []byte {
 // operation (path reads and writes).
 func (c *Controller) SetObserver(fn func(Event)) { c.observer = fn }
 
+// SetMetrics attaches an observability collector (nil detaches it). The
+// collector only reads timing and occupancy state, so attaching one never
+// changes simulated behaviour.
+func (c *Controller) SetMetrics(mc *metrics.Collector) {
+	c.mc = mc
+	c.partitionOf = nil
+	if p, ok := c.policy.(interface{ Partition() int }); ok && mc != nil {
+		c.partitionOf = p.Partition
+	}
+}
+
 // Stats returns a copy of the accumulated counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
@@ -298,7 +312,11 @@ func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
 				c.stats.ShadowStashHits++
 			}
 			c.stats.OnChipHits++
-			return Outcome{Start: now, Forward: now + 1, Done: now + 1, StashHit: true, OnChip: true}
+			out := Outcome{Start: now, Forward: now + 1, Done: now + 1, StashHit: true, OnChip: true}
+			if c.mc != nil {
+				c.observeRequest(now, addr, write, out, e.Meta.Kind == block.Shadow, 0, 0, 0)
+			}
+			return out
 		}
 		// A write that only hits a shadow must still collect and supersede
 		// the tree copy: fall through to a full request.
@@ -324,11 +342,13 @@ func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
 		}
 	}
 	cur := start
+	pmStart := cur
 	for i := fetchFrom - 1; i >= 1; i-- {
 		_, end, _, _ := c.oramAccess(cur, chain[i], false, true)
 		c.stats.PMAccesses++
 		cur = end
 	}
+	pmEnd := cur
 
 	forward, _, onChip, viaShadow := c.oramAccess(cur, addr, write, false)
 	if viaShadow {
@@ -341,6 +361,9 @@ func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
 	out := Outcome{Start: start, Forward: forward, Done: c.busyUntil, OnChip: onChip}
 	c.stats.DataAccessCycles += out.Done - out.Start
 	c.lastDone = c.busyUntil
+	if c.mc != nil {
+		c.observeRequest(now, addr, write, out, viaShadow, pmStart, pmEnd, fetchFrom-1)
+	}
 
 	// Track the typical request duration for the virtual-dummy signal used
 	// by dynamic partitioning without timing protection (DESIGN.md §3).
@@ -348,6 +371,60 @@ func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
 	c.emaAccess += (dur - c.emaAccess) / 8
 	return out
 }
+
+// observeRequest feeds the observability layer after one LLC request:
+// latency histograms, epoch time-series, and — when tracing — the
+// request's lifecycle events (issue span, serve span, forward/stash-hit
+// instant, stash-occupancy counter). pmStart/pmEnd/pmN describe the
+// position-map walk (pmN = 0 when it was satisfied on-chip or for stash
+// hits). Pure reads only: the simulated timing is already decided.
+func (c *Controller) observeRequest(issue int64, addr uint32, write bool, out Outcome, viaShadow bool, pmStart, pmEnd int64, pmN int) {
+	mc := c.mc
+	mc.ReqForward.Record(out.Forward - issue)
+	mc.ReqComplete.Record(out.Done - issue)
+	hit := 0.0
+	if viaShadow {
+		hit = 1
+	}
+	occ := c.st.Snapshot()
+	mc.Observe("shadow_hit_rate", issue, hit)
+	mc.Observe("stash_occupancy", issue, float64(occ.Real+occ.Shadow))
+	if c.partitionOf != nil {
+		mc.Observe("partition", issue, float64(c.partitionOf()))
+	}
+	mc.Observe("dram_backlog", issue, float64(c.mem.Backlog(issue)))
+	tr := mc.Trace
+	if tr == nil {
+		return
+	}
+	id := c.stats.Requests
+	tr.Span("request", "oram", tidRequest, issue, out.Done,
+		map[string]any{"req": id, "addr": addr, "write": write})
+	tr.Instant("issue", "oram", tidRequest, issue, map[string]any{"req": id})
+	tr.Span("serve", "oram", tidRequest, out.Start, out.Forward,
+		map[string]any{"req": id, "via_shadow": viaShadow, "on_chip": out.OnChip})
+	if pmN > 0 {
+		tr.Span("posmap.walk", "oram", tidRequest, pmStart, pmEnd,
+			map[string]any{"req": id, "levels": pmN})
+	}
+	switch {
+	case out.StashHit:
+		tr.Instant("stash.hit", "oram", tidRequest, out.Forward, map[string]any{"req": id})
+	case viaShadow:
+		tr.Instant("forward.shadow", "oram", tidRequest, out.Forward, map[string]any{"req": id})
+	default:
+		tr.Instant("forward", "oram", tidRequest, out.Forward, map[string]any{"req": id})
+	}
+	tr.Counter("stash", tidRequest, out.Done,
+		map[string]any{"real": occ.Real, "shadow": occ.Shadow})
+}
+
+// Trace lanes: requests on one Perfetto track, background work (evictions,
+// timing-protection dummies) on another.
+const (
+	tidRequest    = 0
+	tidBackground = 1
+)
 
 // writeValue produces the payload stored by a write in functional mode:
 // the data supplied through WriteBlock when present, otherwise a marker
@@ -441,6 +518,9 @@ func (c *Controller) issueDummy(start int64) {
 	c.stats.DummyAccesses++
 	c.policy.NoteORAMRequest(true)
 	_, end, _ := c.pathRead(start, leaf, NoAddr, false)
+	if c.mc != nil && c.mc.Trace != nil {
+		c.mc.Trace.Span("dummy", "oram", tidBackground, start, end, map[string]any{"leaf": leaf})
+	}
 	c.accessCount++
 	end = c.maybeEvict(end)
 	c.busyUntil = end
@@ -460,6 +540,10 @@ func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool)
 
 	var res readResult
 	forward, end, res = c.pathRead(start, label, addr, false)
+	if c.mc != nil && c.mc.Trace != nil {
+		c.mc.Trace.Span("path.read", "oram", tidRequest, start, end,
+			map[string]any{"req": c.stats.Requests, "addr": addr, "leaf": label, "fwd_level": res.fwdLevel})
+	}
 	if res.realLevel >= 0 {
 		c.stats.FwdSamples++
 		c.stats.SumFwdLevel += uint64(res.fwdLevel)
@@ -514,7 +598,11 @@ func (c *Controller) maybeEvict(start int64) int64 {
 	c.evictCount++
 	c.stats.EvictionPhases++
 	_, end, _ := c.pathRead(start, leaf, NoAddr, true)
-	return c.pathWrite(end, leaf)
+	end = c.pathWrite(end, leaf)
+	if c.mc != nil && c.mc.Trace != nil {
+		c.mc.Trace.Span("evict", "oram", tidBackground, start, end, map[string]any{"leaf": leaf})
+	}
+	return end
 }
 
 // fillPLB moves a fetched posmap block from the stash into the PLB (both

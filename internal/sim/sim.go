@@ -10,6 +10,7 @@ import (
 	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
 	"shadowblock/internal/dram"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
 	"shadowblock/internal/trace"
 )
@@ -27,6 +28,12 @@ type Spec struct {
 	Insecure bool
 	ORAM     oram.Config
 	Policy   *core.Config
+
+	// Metrics, when set, is threaded through every layer (CPU, controller,
+	// duplication policy) and fills Metrics.Obs and Metrics.ReqLatency.
+	// Nil runs fully uninstrumented; the simulated timing is identical
+	// either way.
+	Metrics *metrics.Collector
 }
 
 // Metrics is the outcome of one run.
@@ -42,6 +49,13 @@ type Metrics struct {
 	Energy        float64
 	OnChipHitRate float64
 	MeanPartition float64 // dynamic partitioning only
+
+	// ReqLatency digests the intended-data return latency (issue to
+	// forward) of every ORAM request; zero unless Spec.Metrics was set.
+	ReqLatency metrics.LatencySummary
+	// Obs is the full observability report (histograms, time-series,
+	// counters); nil unless Spec.Metrics was set.
+	Obs *metrics.Report
 }
 
 // oramMemory adapts an ORAM controller to the cpu.Memory interface,
@@ -92,19 +106,22 @@ func Run(spec Spec) (Metrics, error) {
 
 	if spec.Insecure {
 		mem := &insecureMemory{mem: dram.New(spec.ORAM.DRAM), blockBytes: spec.ORAM.BlockBytes}
+		spec.CPU.Metrics = spec.Metrics
 		res, err := cpu.Run(spec.CPU, traces, mem)
 		if err != nil {
 			return Metrics{}, err
 		}
 		st := mem.mem.Stats()
-		return Metrics{
+		m := Metrics{
 			Cycles:     res.Cycles,
 			DataAccess: mem.busy,
 			DRI:        res.Cycles - mem.busy,
 			CPU:        res,
 			Mem:        st,
 			Energy:     Energy(st, res.Cycles),
-		}, nil
+		}
+		finishObservation(spec, &m)
+		return m, nil
 	}
 
 	var ctrl *oram.Controller
@@ -117,6 +134,13 @@ func Run(spec Spec) (Metrics, error) {
 	}
 	if err != nil {
 		return Metrics{}, err
+	}
+	if spec.Metrics != nil {
+		ctrl.SetMetrics(spec.Metrics)
+		if pol != nil {
+			pol.SetMetrics(spec.Metrics)
+		}
+		spec.CPU.Metrics = spec.Metrics
 	}
 	mem := &oramMemory{ctrl: ctrl, space: uint32(ctrl.NumDataBlocks())}
 	res, err := cpu.Run(spec.CPU, traces, mem)
@@ -144,7 +168,22 @@ func Run(spec Spec) (Metrics, error) {
 	if pol != nil {
 		m.MeanPartition = pol.MeanPartition()
 	}
+	finishObservation(spec, &m)
 	return m, nil
+}
+
+// finishObservation digests the run's collector into the metrics, labelled
+// with what the sim layer knows about the run. No-op without a collector.
+func finishObservation(spec Spec, m *Metrics) {
+	if spec.Metrics == nil {
+		return
+	}
+	m.ReqLatency = spec.Metrics.ReqForward.Summary()
+	m.Obs = spec.Metrics.Report(m.Cycles, map[string]string{
+		"bench": spec.Profile.Name,
+		"seed":  fmt.Sprint(spec.Seed),
+		"refs":  fmt.Sprint(spec.Refs),
+	})
 }
 
 // Energy model parameters (arbitrary consistent units, following the

@@ -6,6 +6,7 @@ import (
 	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
 	"shadowblock/internal/dram"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
 	"shadowblock/internal/trace"
 )
@@ -134,6 +135,82 @@ func TestO3ReducesCycles(t *testing.T) {
 	perRefO3 := float64(o3.Cycles) / float64(o3.CPU.References)
 	if perRefO3 >= perRefIn {
 		t.Fatalf("O3 per-ref %f not below in-order %f", perRefO3, perRefIn)
+	}
+}
+
+// TestMetricsObservationIsFree asserts the observability layer's core
+// contract: attaching a collector (with tracing) changes nothing about the
+// simulated outcome — identical Cycles, breakdown, and counters for a
+// fixed seed — it only adds the report.
+func TestMetricsObservationIsFree(t *testing.T) {
+	for _, withPolicy := range []bool{false, true} {
+		spec := smallSpec(t)
+		spec.Refs = 2500
+		if withPolicy {
+			pc := core.Dynamic(3)
+			spec.Policy = &pc
+		}
+		plain, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Metrics = metrics.New(metrics.Options{Tracing: true})
+		observed, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observed.Cycles != plain.Cycles {
+			t.Fatalf("policy=%v: metrics changed Cycles: %d != %d", withPolicy, observed.Cycles, plain.Cycles)
+		}
+		if observed.DataAccess != plain.DataAccess || observed.DRI != plain.DRI ||
+			observed.ORAM != plain.ORAM || observed.CPU != plain.CPU || observed.Mem != plain.Mem {
+			t.Fatalf("policy=%v: metrics changed the run:\nplain    %+v\nobserved %+v", withPolicy, plain, observed)
+		}
+	}
+}
+
+func TestMetricsReportContents(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Refs = 2500
+	pc := core.Dynamic(3)
+	spec.Policy = &pc
+	spec.Metrics = metrics.New(metrics.Options{Tracing: true})
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Obs == nil {
+		t.Fatal("no observability report")
+	}
+	if m.ReqLatency.Count != m.ORAM.Requests {
+		t.Fatalf("latency samples %d != ORAM requests %d", m.ReqLatency.Count, m.ORAM.Requests)
+	}
+	if !(m.ReqLatency.P50 <= m.ReqLatency.P90 && m.ReqLatency.P90 <= m.ReqLatency.P99 &&
+		m.ReqLatency.P99 <= m.ReqLatency.Max) || m.ReqLatency.P50 == 0 {
+		t.Fatalf("implausible percentiles: %+v", m.ReqLatency)
+	}
+	want := map[string]bool{"shadow_hit_rate": false, "stash_occupancy": false, "partition": false, "dram_backlog": false}
+	for _, s := range m.Obs.Series {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s exported with no points", s.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("series %s missing from report", name)
+		}
+	}
+	if m.Obs.Counters["rd_shadows"]+m.Obs.Counters["hd_shadows"] == 0 {
+		t.Fatal("policy probe recorded no shadow creation")
+	}
+	if m.Obs.Cycles != m.Cycles {
+		t.Fatalf("report cycles %d != run cycles %d", m.Obs.Cycles, m.Cycles)
+	}
+	if spec.Metrics.Trace.Len() == 0 {
+		t.Fatal("tracing enabled but no events recorded")
 	}
 }
 

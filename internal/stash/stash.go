@@ -240,6 +240,27 @@ func (s *Stash) noteHighWater() {
 	}
 }
 
+// Occupancy is a point-in-time snapshot of the stash's fill state, the
+// observability layer's stash-pressure signal.
+type Occupancy struct {
+	Real     int // resident real blocks
+	Shadow   int // resident shadow blocks
+	Capacity int
+	MaxReal  int // high-water mark of real blocks
+	MaxTotal int // high-water mark of total occupancy
+}
+
+// Snapshot returns the current occupancy.
+func (s *Stash) Snapshot() Occupancy {
+	return Occupancy{
+		Real:     s.realCount,
+		Shadow:   s.shadowCount,
+		Capacity: s.capacity,
+		MaxReal:  s.maxReal,
+		MaxTotal: s.maxTotal,
+	}
+}
+
 // Update overwrites the payload of the resident block holding addr.
 // It reports whether the block was present.
 func (s *Stash) Update(addr uint32, data []byte) bool {

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"median-odd", []float64{3, 1, 2}, 0.5, 2},
+		{"median-even", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"p0-is-min", []float64{5, 1, 9}, 0, 1},
+		{"p100-is-max", []float64{5, 1, 9}, 1, 9},
+		{"interpolated", []float64{10, 20, 30, 40, 50}, 0.9, 46},
+		{"single", []float64{7}, 0.99, 7},
+		{"clamp-low", []float64{1, 2}, -0.5, 1},
+		{"clamp-high", []float64{1, 2}, 1.5, 2},
+		{"unsorted", []float64{9, 2, 7, 4}, 0.25, 3.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Percentile(c.xs, c.q); !approx(got, c.want) {
+				t.Fatalf("Percentile(%v, %g) = %g, want %g", c.xs, c.q, got, c.want)
+			}
+		})
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("Percentile(nil) not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"constant", []float64{4, 4, 4}, 0},
+		{"two-points", []float64{1, 3}, 1},
+		{"spread", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 2},
+		{"single", []float64{42}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Stddev(c.xs); !approx(got, c.want) {
+				t.Fatalf("Stddev(%v) = %g, want %g", c.xs, got, c.want)
+			}
+		})
+	}
+	if !math.IsNaN(Stddev(nil)) {
+		t.Fatal("Stddev(nil) not NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		min, max float64
+	}{
+		{"ordered", []float64{1, 2, 3}, 1, 3},
+		{"reversed", []float64{3, 2, 1}, 1, 3},
+		{"negative", []float64{-5, 0, 5}, -5, 5},
+		{"single", []float64{2}, 2, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Min(c.xs); !approx(got, c.min) {
+				t.Fatalf("Min(%v) = %g, want %g", c.xs, got, c.min)
+			}
+			if got := Max(c.xs); !approx(got, c.max) {
+				t.Fatalf("Max(%v) = %g, want %g", c.xs, got, c.max)
+			}
+		})
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max(nil) not NaN")
+	}
+}
