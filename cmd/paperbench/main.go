@@ -36,7 +36,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a metrics JSON report of the observation cell to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the observation cell to this file")
 	obsBench := flag.String("obs-bench", "hmmer", "workload of the observation cell")
-	obsScheme := flag.String("obs-scheme", "dynamic-3", "scheme of the observation cell")
+	obsScheme := flag.String("obs-scheme", "dynamic-3", "scheme of the observation cell (accepts -pipe suffixed names)")
+	pipeline := flag.Bool("pipeline", false, "run the observation cell on the pipelined request engine")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	if *metricsOut != "" || *traceOut != "" {
-		if err := observe(r, *obsBench, *obsScheme, *metricsOut, *traceOut); err != nil {
+		if err := observe(r, *obsBench, *obsScheme, *pipeline, *metricsOut, *traceOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func main() {
 
 // observe runs the single instrumented (bench, scheme) cell and writes its
 // metrics report and/or Chrome trace.
-func observe(r experiments.Runner, bench, scheme, metricsOut, traceOut string) error {
+func observe(r experiments.Runner, bench, scheme string, pipeline bool, metricsOut, traceOut string) error {
 	p, ok := trace.ByName(bench)
 	if !ok {
 		return fmt.Errorf("observe: unknown benchmark %q", bench)
@@ -119,6 +120,12 @@ func observe(r experiments.Runner, bench, scheme, metricsOut, traceOut string) e
 	s, err := experiments.ParseScheme(scheme)
 	if err != nil {
 		return err
+	}
+	if pipeline {
+		if s.Insecure {
+			return fmt.Errorf("observe: the insecure baseline has no ORAM engine to pipeline")
+		}
+		s.Pipeline = true
 	}
 	col := metrics.New(metrics.Options{Tracing: traceOut != ""})
 	start := time.Now()

@@ -19,11 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
-	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
+	"shadowblock/internal/experiments"
 	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
 	"shadowblock/internal/sim"
@@ -32,8 +31,9 @@ import (
 
 func main() {
 	bench := flag.String("bench", "hmmer", "workload: "+strings.Join(trace.Names(), ", "))
-	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N")
+	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with a -pipe suffix")
 	tp := flag.Bool("tp", false, "enable timing protection (constant-rate requests)")
+	pipeline := flag.Bool("pipeline", false, "pipelined request engine (same as a -pipe scheme suffix)")
 	refs := flag.Int("refs", 60000, "memory references per core")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	treetop := flag.Int("treetop", 0, "cache the top N tree levels on-chip")
@@ -58,15 +58,21 @@ func main() {
 	if !ok {
 		fail(fmt.Errorf("unknown benchmark %q", *bench))
 	}
+	s, err := experiments.ParseScheme(*scheme)
+	if err != nil {
+		fail(err)
+	}
 	ocfg := oram.Default()
-	ocfg.TimingProtection = *tp
+	ocfg.TimingProtection = *tp || s.TP
 	ocfg.TreetopLevels = *treetop
 	ocfg.XOR = *xor
+	ocfg.Pipeline = s.Pipeline || *pipeline
 	if *level > 0 {
 		ocfg.L = *level
 	}
 
-	spec := sim.Spec{Profile: p, Refs: *refs, Seed: *seed, ORAM: ocfg}
+	spec := sim.Spec{Profile: p, Refs: *refs, Seed: *seed, ORAM: ocfg,
+		Insecure: s.Insecure, Policy: s.Policy}
 	switch *cpuType {
 	case "inorder":
 		spec.CPU = cpu.InOrder()
@@ -74,34 +80,6 @@ func main() {
 		spec.CPU = cpu.O3()
 	default:
 		fail(fmt.Errorf("unknown cpu type %q", *cpuType))
-	}
-
-	switch {
-	case *scheme == "insecure":
-		spec.Insecure = true
-	case *scheme == "tiny":
-	case *scheme == "rd":
-		c := core.RDOnly()
-		spec.Policy = &c
-	case *scheme == "hd":
-		c := core.HDOnly()
-		spec.Policy = &c
-	case strings.HasPrefix(*scheme, "static-"):
-		n, err := strconv.Atoi(strings.TrimPrefix(*scheme, "static-"))
-		if err != nil {
-			fail(fmt.Errorf("bad scheme %q: %w", *scheme, err))
-		}
-		c := core.Static(n)
-		spec.Policy = &c
-	case strings.HasPrefix(*scheme, "dynamic-"):
-		n, err := strconv.Atoi(strings.TrimPrefix(*scheme, "dynamic-"))
-		if err != nil {
-			fail(fmt.Errorf("bad scheme %q: %w", *scheme, err))
-		}
-		c := core.Dynamic(n)
-		spec.Policy = &c
-	default:
-		fail(fmt.Errorf("unknown scheme %q", *scheme))
 	}
 
 	var col *metrics.Collector
@@ -120,7 +98,8 @@ func main() {
 	}
 
 	fmt.Printf("workload        %s (%d refs, seed %d)\n", p.Name, *refs, *seed)
-	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v cpu=%s)\n", *scheme, *tp, *treetop, *xor, *cpuType)
+	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v cpu=%s)\n",
+		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, *cpuType)
 	fmt.Printf("total cycles    %d\n", m.Cycles)
 	fmt.Printf("  data access   %d (%.1f%%)\n", m.DataAccess, 100*float64(m.DataAccess)/float64(m.Cycles))
 	fmt.Printf("  DRI           %d (%.1f%%)\n", m.DRI, 100*float64(m.DRI)/float64(m.Cycles))
@@ -133,6 +112,10 @@ func main() {
 			o.Requests, o.StashHits, o.ShadowStashHits, m.OnChipHitRate)
 		fmt.Printf("ORAM accesses   %d (pm %d, dummies %d, evictions %d, shadow forwards %d)\n",
 			o.ORAMAccesses, o.PMAccesses, o.DummyAccesses, o.EvictionPhases, o.ShadowForwards)
+		if ocfg.Pipeline {
+			fmt.Printf("pipeline        %d overlapped path reads, %d writeback cycles overlapped\n",
+				o.PipelinedReads, o.OverlapCycles)
+		}
 		rowRate := "n/a"
 		if rows := m.Mem.RowHits + m.Mem.RowMisses; rows > 0 {
 			rowRate = fmt.Sprintf("%.2f", float64(m.Mem.RowHits)/float64(rows))

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"shadowblock/internal/oram"
+)
+
+// buildCtrl constructs a controller for cfg under the named policy ("" =
+// plain Tiny ORAM).
+func buildCtrl(t *testing.T, cfg oram.Config, pcfg *Config) *oram.Controller {
+	t.Helper()
+	if pcfg == nil {
+		return oram.MustNew(cfg, nil)
+	}
+	ctrl, _, err := New(cfg, *pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// TestPipelinedTouchSequenceUnchanged is the pipelined engine's security
+// argument as an executable check: pipelining may move *when* an operation
+// starts (writeback drain overlaps the next path read) but must never change
+// *which* physical locations are touched or in what order. The (kind, leaf)
+// sequence of external operations must be identical between the serial and
+// pipelined engines on the same inputs.
+func TestPipelinedTouchSequenceUnchanged(t *testing.T) {
+	dyn := Dynamic(3)
+	cases := []struct {
+		name string
+		pcfg *Config
+	}{
+		{"tiny", nil},
+		{"dynamic-3", &dyn},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialCfg := testORAMConfig()
+			pipeCfg := serialCfg
+			pipeCfg.Pipeline = true
+
+			serial := collectTrace(buildCtrl(t, serialCfg, tc.pcfg), 400, 91)
+			pipe := collectTrace(buildCtrl(t, pipeCfg, tc.pcfg), 400, 91)
+			if len(pipe) != len(serial) {
+				t.Fatalf("trace length %d, serial %d", len(pipe), len(serial))
+			}
+			for i := range pipe {
+				if pipe[i].Kind != serial[i].Kind || pipe[i].Leaf != serial[i].Leaf {
+					t.Fatalf("event %d touches a different location: %+v vs serial %+v",
+						i, pipe[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedShadowTraceIdenticalToTiny repeats the §IV-B trace-equality
+// argument on the pipelined engine: with shadow stash hits disabled, a
+// pipelined shadow ORAM and pipelined Tiny ORAM must still produce
+// byte-identical external traces — start cycles included, since both engines
+// overlap by the same rule.
+func TestPipelinedShadowTraceIdenticalToTiny(t *testing.T) {
+	for _, tp := range []bool{false, true} {
+		name := "plain"
+		if tp {
+			name = "timing-protection"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := testORAMConfig()
+			base.DisableShadowHits = true
+			base.Pipeline = true
+			if tp {
+				base.TimingProtection = true
+				base.RequestRate = 800
+			}
+			tiny := collectTrace(oram.MustNew(base, nil), 300, 83)
+			ctrl, _, err := New(base, Dynamic(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collectTrace(ctrl, 300, 83)
+			if len(got) != len(tiny) {
+				t.Fatalf("trace length %d, tiny %d", len(got), len(tiny))
+			}
+			for i := range got {
+				if got[i] != tiny[i] {
+					t.Fatalf("event %d differs: %+v vs %+v", i, got[i], tiny[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedEngineOverlaps drives the pipelined engine and checks it in
+// fact pipelines: some path reads issue while an eviction writeback is still
+// draining, total cycles drop versus serial, and the controller's internal
+// invariants survive the reordering.
+func TestPipelinedEngineOverlaps(t *testing.T) {
+	serialCfg := testORAMConfig()
+	pipeCfg := serialCfg
+	pipeCfg.Pipeline = true
+
+	serial := oram.MustNew(serialCfg, nil)
+	pipe := oram.MustNew(pipeCfg, nil)
+	_, serialDone, serialDrain := driveGolden(serial)
+	_, pipeDone, pipeDrain := driveGolden(pipe)
+
+	st := pipe.Stats()
+	if st.PipelinedReads == 0 {
+		t.Fatal("pipelined engine never overlapped a path read with a writeback")
+	}
+	if st.OverlapCycles == 0 {
+		t.Fatal("pipelined engine reports overlapping reads but zero cycles reclaimed")
+	}
+	if pipeDrain >= serialDrain {
+		t.Fatalf("pipelining did not finish earlier: drain %d vs serial %d", pipeDrain, serialDrain)
+	}
+	if pipeDone >= serialDone {
+		t.Fatalf("pipelining did not lower summed completion: %d vs serial %d", pipeDone, serialDone)
+	}
+	if pipe.Drain() < pipe.BusyUntil() {
+		t.Fatalf("Drain()=%d earlier than BusyUntil()=%d", pipe.Drain(), pipe.BusyUntil())
+	}
+	if err := pipe.CheckInvariants(); err != nil {
+		t.Fatalf("invariants broken after pipelined run: %v", err)
+	}
+	ss := serial.Stats()
+	if ss.PipelinedReads != 0 || ss.OverlapCycles != 0 {
+		t.Fatalf("serial engine claims pipeline stats: %+v", ss)
+	}
+}

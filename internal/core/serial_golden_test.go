@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"shadowblock/internal/oram"
+	"shadowblock/internal/rng"
+)
+
+// driveGolden runs the fixed request schedule of the serial-engine golden
+// values: 500 requests at data-dependent arrival times, 30% writes.
+func driveGolden(ctrl *oram.Controller) (sumFwd, sumDone, drain int64) {
+	r := rng.NewXoshiro(123)
+	space := uint64(ctrl.NumDataBlocks())
+	now := int64(0)
+	for i := 0; i < 500; i++ {
+		out := ctrl.Request(now, uint32(r.Uint64n(space)), r.Float64() < 0.3)
+		sumFwd += out.Forward
+		sumDone += out.Done
+		now = out.Forward + int64(r.Uint64n(400))
+	}
+	return sumFwd, sumDone, ctrl.Drain()
+}
+
+// TestSerialEngineBitIdentical pins the serial engine's cycle-exact timing
+// to the values it produced before the pipelined request engine existed.
+// With Pipeline=false (the default) the engine must remain bit-identical:
+// any drift here means the stage decomposition changed serial timing.
+func TestSerialEngineBitIdentical(t *testing.T) {
+	// Golden values captured from the pre-pipeline serial engine.
+	cases := []struct {
+		name                   string
+		tp                     bool
+		dynamic                bool
+		sumFwd, sumDone, drain int64
+	}{
+		{name: "tiny", sumFwd: 96251313, sumDone: 96407085, drain: 383435},
+		{name: "dynamic-3", dynamic: true, sumFwd: 95540218, sumDone: 95695667, drain: 378528},
+		{name: "tiny-tp", tp: true, sumFwd: 134592451, sumDone: 134749013, drain: 536359},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testORAMConfig()
+			if cfg.Pipeline {
+				t.Fatal("test premise broken: Pipeline must default to off")
+			}
+			if tc.tp {
+				cfg.TimingProtection = true
+				cfg.RequestRate = 800
+			}
+			var ctrl *oram.Controller
+			if tc.dynamic {
+				var err error
+				ctrl, _, err = New(cfg, Dynamic(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				ctrl = oram.MustNew(cfg, nil)
+			}
+			sumFwd, sumDone, drain := driveGolden(ctrl)
+			if sumFwd != tc.sumFwd || sumDone != tc.sumDone || drain != tc.drain {
+				t.Fatalf("serial timing drifted: sumFwd=%d sumDone=%d drain=%d, want %d/%d/%d",
+					sumFwd, sumDone, drain, tc.sumFwd, tc.sumDone, tc.drain)
+			}
+		})
+	}
+}

@@ -163,16 +163,30 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 			now += cfg.L2Latency
 			res.LLCMisses++
 		} else {
-			if hit, _, _, _ := c.l1.Access(lineAddr, acc.Write); hit {
+			hit, l1Victim, l1Dirty, l1Evicted := c.l1.Access(lineAddr, acc.Write)
+			if hit {
 				res.L1Hits++
 				c.ready = now + cfg.L1Latency
 				last = max64(last, c.ready)
 				continue
 			}
 			now += cfg.L1Latency
+			// Dirty L1 victims write back into the L2 behind the demand
+			// access; a dirty line they displace continues to memory. The
+			// core never stalls on this drain.
+			installVictim := func() {
+				if !l1Evicted || !l1Dirty {
+					return
+				}
+				if _, v2, d2, e2 := l2.Access(l1Victim, true); e2 && d2 {
+					res.Writebacks++
+					mem.Request(now, uint32(v2/uint64(cfg.LineBytes)), true)
+				}
+			}
 			hit, victim, dirty, evicted := l2.Access(lineAddr, acc.Write)
 			if hit {
 				res.L2Hits++
+				installVictim()
 				c.ready = now + cfg.L2Latency
 				last = max64(last, c.ready)
 				continue
@@ -186,6 +200,7 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 				res.Writebacks++
 				mem.Request(now, uint32(victim/uint64(cfg.LineBytes)), true)
 			}
+			installVictim()
 		}
 
 		if cfg.OOO {

@@ -218,3 +218,58 @@ func TestRunWithoutMetricsRecordsNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDirtyL1VictimsWriteBackIntoL2(t *testing.T) {
+	// Single-line L1 and L2 make every victim explicit. Writing A then
+	// reading B evicts A dirty from the L1; that victim must land in the
+	// L2 (displacing whatever is there) so that when the L2 in turn drops
+	// it, the write reaches memory. Before the fix the L1 victim was
+	// silently discarded, so A's second journey to memory never happened.
+	cfg := Config{
+		Cores: 1, MLP: 1,
+		L1Bytes: 64, L1Ways: 1,
+		L2Bytes: 64, L2Ways: 1,
+		LineBytes: 64, L1Latency: 1, L2Latency: 10,
+	}
+	tr := []trace.Access{
+		{Block: 1, Write: true, Gap: 5}, // A dirty in L1 and L2
+		{Block: 2, Gap: 5},              // evicts A from both; A re-enters L2 dirty
+		{Block: 3, Gap: 5},              // L2 drops A again: second memory write
+	}
+	mem := &flatMemory{latency: 100}
+	res, err := Run(cfg, [][]trace.Access{tr}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writebacks != 2 {
+		t.Fatalf("writebacks = %d, want 2 (A dropped dirty from the L2 twice)", res.Writebacks)
+	}
+	// One demand write (the miss on A) plus the two writebacks.
+	if mem.writes != 3 {
+		t.Fatalf("memory write requests = %d, want 3", mem.writes)
+	}
+}
+
+func TestCleanL1VictimsStaySilent(t *testing.T) {
+	// The same shape with a read-only working set must not invent L2
+	// traffic: clean L1 victims are dropped, not written back.
+	cfg := Config{
+		Cores: 1, MLP: 1,
+		L1Bytes: 64, L1Ways: 1,
+		L2Bytes: 64, L2Ways: 1,
+		LineBytes: 64, L1Latency: 1, L2Latency: 10,
+	}
+	tr := []trace.Access{
+		{Block: 1, Gap: 5},
+		{Block: 2, Gap: 5},
+		{Block: 3, Gap: 5},
+	}
+	mem := &flatMemory{latency: 100}
+	res, err := Run(cfg, [][]trace.Access{tr}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writebacks != 0 || mem.writes != 0 {
+		t.Fatalf("read-only run produced writebacks=%d memory writes=%d", res.Writebacks, mem.writes)
+	}
+}

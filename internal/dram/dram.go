@@ -87,11 +87,10 @@ type Memory struct {
 	stats    Stats
 }
 
-// New builds a Memory from cfg. It panics on invalid configuration; use
-// Config.Validate to pre-check untrusted values.
-func New(cfg Config) *Memory {
+// New builds a Memory from cfg, reporting configuration errors.
+func New(cfg Config) (*Memory, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := &Memory{cfg: cfg, channels: make([]channel, cfg.Channels)}
 	for i := range m.channels {
@@ -99,6 +98,15 @@ func New(cfg Config) *Memory {
 		for b := range m.channels[i].banks {
 			m.channels[i].banks[b].openRow = -1
 		}
+	}
+	return m, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -197,21 +205,106 @@ func (m *Memory) Write(now int64, addr uint64) int64 {
 	return m.Access(now, addr, true, true)
 }
 
+// Op selects the operation a batch reservation models.
+type Op uint8
+
+// Batch operation kinds: plain reads, writes, and the XOR-compression
+// reads whose data never crosses the processor bus.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpReadOffBus
+)
+
+// checkBatch validates the done slice against addrs. A mismatched caller
+// is a programming error (the batch would silently truncate or index out
+// of range), so it fails loudly rather than returning a value.
+func checkBatch(op string, addrs []uint64, done []int64) {
+	if done != nil && len(done) != len(addrs) {
+		panic(fmt.Sprintf("dram: %s: done has %d slots for %d addresses", op, len(done), len(addrs)))
+	}
+}
+
+// ReserveBatch reserves bank, row and bus timing for one access per addr,
+// in order, none beginning before now. When done is non-nil it must be
+// len(addrs) long and receives each access's completion cycle. The return
+// value is the completion cycle of the whole batch (for OpReadOffBus,
+// including the single burst that ships the XOR result).
+//
+// ReserveBatch is the arbitration primitive of the pipelined ORAM engine:
+// combined with the earliest-start queries (BankFreeAt, EarliestBatchStart)
+// it lets a controller issue a path read as soon as the first needed bank
+// frees, while the bank and bus state it reserves makes any access that
+// does conflict with still-draining work wait exactly as long as it must.
+func (m *Memory) ReserveBatch(now int64, op Op, addrs []uint64, done []int64) int64 {
+	checkBatch("ReserveBatch", addrs, done)
+	var finish int64
+	for i, a := range addrs {
+		var d int64
+		switch op {
+		case OpWrite:
+			d = m.Access(now, a, true, true)
+		case OpReadOffBus:
+			d = m.Access(now, a, false, false)
+		default:
+			d = m.Access(now, a, false, true)
+		}
+		if done != nil {
+			done[i] = d
+		}
+		if d > finish {
+			finish = d
+		}
+	}
+	if op == OpReadOffBus {
+		finish += m.cfg.TBURST
+	}
+	return finish
+}
+
+// BankFreeAt returns the earliest cycle at which the bank owning addr can
+// accept a new column command, given every access reserved so far. The row
+// state may still force a precharge/activate after that point; this is the
+// issue-time query, not a completion estimate.
+func (m *Memory) BankFreeAt(addr uint64) int64 {
+	ch, bk, _ := m.mapAddr(addr)
+	return m.channels[ch].banks[bk].readyAt
+}
+
+// BusFreeAt returns the earliest cycle at which addr's channel data bus is
+// free of already-reserved transfers.
+func (m *Memory) BusFreeAt(addr uint64) int64 {
+	ch, _, _ := m.mapAddr(addr)
+	return m.channels[ch].busFreeAt
+}
+
+// EarliestBatchStart returns the earliest cycle at which a batch over addrs
+// could usefully issue its first command: the minimum over addrs of the
+// owning bank's ready time. Issuing earlier would only queue behind every
+// involved bank; issuing at this cycle overlaps the batch with whatever
+// work is still draining on the other banks. An empty batch may start
+// anywhere (returns 0).
+func (m *Memory) EarliestBatchStart(addrs []uint64) int64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	earliest := m.BankFreeAt(addrs[0])
+	for _, a := range addrs[1:] {
+		if t := m.BankFreeAt(a); t < earliest {
+			earliest = t
+		}
+	}
+	return earliest
+}
+
 // ReadBatch issues reads for addrs in order starting at now, filling done
 // (which must be len(addrs)) with per-block completion cycles, and returns
 // the completion of the whole batch. This is the shape of an ORAM path
 // read: the per-block completion times are exactly what shadow blocks
 // exploit.
 func (m *Memory) ReadBatch(now int64, addrs []uint64, done []int64) int64 {
-	var finish int64
-	for i, a := range addrs {
-		d := m.Read(now, a)
-		done[i] = d
-		if d > finish {
-			finish = d
-		}
-	}
-	return finish
+	checkBatch("ReadBatch", addrs, done)
+	return m.ReserveBatch(now, OpRead, addrs, done)
 }
 
 // ReadBatchOffBus is ReadBatch for XOR compression: the DRAM-internal
@@ -219,27 +312,14 @@ func (m *Memory) ReadBatch(now int64, addrs []uint64, done []int64) int64 {
 // end, so per-block transfers skip the bus and the result ships in a
 // single burst.
 func (m *Memory) ReadBatchOffBus(now int64, addrs []uint64, done []int64) int64 {
-	var finish int64
-	for i, a := range addrs {
-		d := m.Access(now, a, false, false)
-		done[i] = d
-		if d > finish {
-			finish = d
-		}
-	}
-	return finish + m.cfg.TBURST
+	checkBatch("ReadBatchOffBus", addrs, done)
+	return m.ReserveBatch(now, OpReadOffBus, addrs, done)
 }
 
 // WriteBatch issues writes for addrs in order starting at now and returns
 // the completion cycle of the last one.
 func (m *Memory) WriteBatch(now int64, addrs []uint64) int64 {
-	var finish int64
-	for _, a := range addrs {
-		if d := m.Write(now, a); d > finish {
-			finish = d
-		}
-	}
-	return finish
+	return m.ReserveBatch(now, OpWrite, addrs, nil)
 }
 
 func max64(a, b int64) int64 {

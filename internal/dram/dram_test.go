@@ -24,7 +24,7 @@ func TestValidate(t *testing.T) {
 
 func TestRowHitFasterThanMiss(t *testing.T) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	// First access to a row: miss (activate).
 	first := m.Read(0, 0)
 	// Same row, later: hit.
@@ -52,11 +52,11 @@ func TestBankParallelism(t *testing.T) {
 	sameBankStride := uint64(cfg.RowBytes * cfg.Channels * cfg.BanksPerChannel)
 	diffBankStride := uint64(cfg.RowBytes * cfg.Channels)
 
-	mA := New(cfg)
+	mA := MustNew(cfg)
 	mA.Read(0, 0)
 	parallel := mA.Read(0, diffBankStride)
 
-	mB := New(cfg)
+	mB := MustNew(cfg)
 	mB.Read(0, 0)
 	serial := mB.Read(0, sameBankStride)
 
@@ -67,7 +67,7 @@ func TestBankParallelism(t *testing.T) {
 
 func TestChannelParallelism(t *testing.T) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	// Rows interleave across channels: consecutive rows use different buses.
 	a := m.Read(0, 0)
 	b := m.Read(0, uint64(cfg.RowBytes))
@@ -78,7 +78,7 @@ func TestChannelParallelism(t *testing.T) {
 
 func TestBusSerialisesSameRowReads(t *testing.T) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	first := m.Read(0, 0)
 	second := m.Read(0, 64)
 	if second < first+cfg.TBURST {
@@ -88,8 +88,8 @@ func TestBusSerialisesSameRowReads(t *testing.T) {
 
 func TestXORModeSkipsBus(t *testing.T) {
 	cfg := DDR3_1333()
-	onBus := New(cfg)
-	offBus := New(cfg)
+	onBus := MustNew(cfg)
+	offBus := MustNew(cfg)
 	// Spread across the banks of one channel: the channel bus is then the
 	// bottleneck, which is exactly what XOR compression removes.
 	addrs := make([]uint64, 16)
@@ -108,7 +108,7 @@ func TestXORModeSkipsBus(t *testing.T) {
 
 func TestReadBatchPerBlockTimes(t *testing.T) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	addrs := []uint64{0, 64, 128, uint64(cfg.RowBytes)}
 	done := make([]int64, len(addrs))
 	finish := m.ReadBatch(100, addrs, done)
@@ -127,7 +127,7 @@ func TestReadBatchPerBlockTimes(t *testing.T) {
 }
 
 func TestWriteBatch(t *testing.T) {
-	m := New(DDR3_1333())
+	m := MustNew(DDR3_1333())
 	finish := m.WriteBatch(0, []uint64{0, 64, 128})
 	if finish <= 0 {
 		t.Fatalf("write batch finish = %d", finish)
@@ -141,8 +141,8 @@ func TestAccessMonotonicInNow(t *testing.T) {
 	cfg := DDR3_1333()
 	f := func(addr uint64, gap uint16) bool {
 		addr %= 1 << 30
-		m1 := New(cfg)
-		m2 := New(cfg)
+		m1 := MustNew(cfg)
+		m2 := MustNew(cfg)
 		d1 := m1.Read(0, addr)
 		d2 := m2.Read(int64(gap), addr)
 		// Starting later can never finish earlier.
@@ -155,7 +155,7 @@ func TestAccessMonotonicInNow(t *testing.T) {
 
 func TestMapAddrCoversAllBanks(t *testing.T) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	type cb struct{ c, b int }
 	seen := make(map[cb]bool)
 	for r := 0; r < cfg.Channels*cfg.BanksPerChannel; r++ {
@@ -169,7 +169,7 @@ func TestMapAddrCoversAllBanks(t *testing.T) {
 
 func BenchmarkPathRead(b *testing.B) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	addrs := make([]uint64, 95) // Z=5 x 19 levels
 	for i := range addrs {
 		addrs[i] = uint64(i) * 64 * 131
@@ -179,5 +179,96 @@ func BenchmarkPathRead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now = m.ReadBatch(now, addrs, done)
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := DDR3_1333()
+	bad.Channels = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if m, err := New(DDR3_1333()); err != nil || m == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestBatchLengthValidation(t *testing.T) {
+	m := MustNew(DDR3_1333())
+	addrs := []uint64{0, 64, 128}
+	short := make([]int64, 2)
+	for name, fn := range map[string]func(){
+		"ReadBatch":       func() { m.ReadBatch(0, addrs, short) },
+		"ReadBatchOffBus": func() { m.ReadBatchOffBus(0, addrs, short) },
+		"ReserveBatch":    func() { m.ReserveBatch(0, OpRead, addrs, short) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: short done slice accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReserveBatchMatchesLegacyBatches(t *testing.T) {
+	cfg := DDR3_1333()
+	addrs := []uint64{0, 8192, 16384, 24576, 64}
+	for op, legacy := range map[Op]func(m *Memory, done []int64) int64{
+		OpRead:       func(m *Memory, done []int64) int64 { return m.ReadBatch(7, addrs, done) },
+		OpWrite:      func(m *Memory, done []int64) int64 { return m.WriteBatch(7, addrs) },
+		OpReadOffBus: func(m *Memory, done []int64) int64 { return m.ReadBatchOffBus(7, addrs, done) },
+	} {
+		a, b := MustNew(cfg), MustNew(cfg)
+		doneA := make([]int64, len(addrs))
+		doneB := make([]int64, len(addrs))
+		endA := legacy(a, doneA)
+		endB := b.ReserveBatch(7, op, addrs, doneB)
+		if endA != endB {
+			t.Fatalf("op %d: legacy end %d, ReserveBatch end %d", op, endA, endB)
+		}
+		if op != OpWrite {
+			for i := range doneA {
+				if doneA[i] != doneB[i] {
+					t.Fatalf("op %d: done[%d] %d vs %d", op, i, doneA[i], doneB[i])
+				}
+			}
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatalf("op %d: stats diverge: %+v vs %+v", op, a.Stats(), b.Stats())
+		}
+	}
+}
+
+func TestEarliestStartQueries(t *testing.T) {
+	cfg := DDR3_1333()
+	m := MustNew(cfg)
+	if got := m.EarliestBatchStart(nil); got != 0 {
+		t.Fatalf("empty batch earliest start = %d, want 0", got)
+	}
+	// Occupy bank (ch0, bk0) with a read; its readyAt moves, the bus too.
+	m.Read(0, 0)
+	if m.BankFreeAt(0) <= 0 {
+		t.Fatal("accessed bank still reports free at 0")
+	}
+	if m.BusFreeAt(0) <= 0 {
+		t.Fatal("used channel bus still reports free at 0")
+	}
+	// An address on an untouched bank is free immediately, so a batch
+	// containing it can start at once even though bank 0 is reserved.
+	untouched := uint64(cfg.RowBytes * cfg.Channels) // ch0, bank1
+	if m.BankFreeAt(untouched) != 0 {
+		t.Fatal("untouched bank not free")
+	}
+	if got := m.EarliestBatchStart([]uint64{0, untouched}); got != 0 {
+		t.Fatalf("batch with a free bank reports earliest start %d, want 0", got)
+	}
+	if got := m.EarliestBatchStart([]uint64{0}); got != m.BankFreeAt(0) {
+		t.Fatalf("single-bank batch earliest start %d, want bank ready %d", got, m.BankFreeAt(0))
 	}
 }

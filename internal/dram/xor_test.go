@@ -11,8 +11,8 @@ func TestReadBatchOffBusFasterAcrossBanks(t *testing.T) {
 		addrs = append(addrs, uint64(i*cfg.RowBytes*cfg.Channels))
 	}
 	done := make([]int64, len(addrs))
-	on := New(cfg).ReadBatch(0, addrs, done)
-	off := New(cfg).ReadBatchOffBus(0, addrs, done)
+	on := MustNew(cfg).ReadBatch(0, addrs, done)
+	off := MustNew(cfg).ReadBatchOffBus(0, addrs, done)
 	if off >= on {
 		t.Fatalf("off-bus batch (%d) not faster than on-bus (%d)", off, on)
 	}
@@ -20,7 +20,7 @@ func TestReadBatchOffBusFasterAcrossBanks(t *testing.T) {
 
 func TestReadBatchOffBusShipsOneBurst(t *testing.T) {
 	cfg := DDR3_1333()
-	m := New(cfg)
+	m := MustNew(cfg)
 	addrs := []uint64{0}
 	done := make([]int64, 1)
 	fin := m.ReadBatchOffBus(0, addrs, done)

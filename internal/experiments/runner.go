@@ -46,6 +46,7 @@ type Scheme struct {
 	Policy   *core.Config
 	Treetop  int
 	XOR      bool
+	Pipeline bool // pipelined request engine (writeback/read overlap)
 }
 
 // The named schemes of the evaluation.
@@ -59,8 +60,23 @@ func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
 }
 
 // ParseScheme maps a scheme name — the cmd/shadowsim vocabulary: insecure,
-// tiny, rd, hd, static-N, dynamic-N — to its Scheme.
+// tiny, rd, hd, static-N, dynamic-N — to its Scheme. Any ORAM scheme name
+// may carry a "-pipe" suffix (tiny-pipe, dynamic-3-pipe, ...) selecting
+// the pipelined request engine; the insecure baseline has no ORAM engine
+// to pipeline, so insecure-pipe is rejected.
 func ParseScheme(name string) (Scheme, error) {
+	if base, ok := strings.CutSuffix(name, "-pipe"); ok {
+		if base == "insecure" {
+			return Scheme{}, fmt.Errorf("experiments: scheme %q: the insecure baseline has no ORAM engine to pipeline", name)
+		}
+		s, err := ParseScheme(base)
+		if err != nil {
+			return Scheme{}, err
+		}
+		s.Name = name
+		s.Pipeline = true
+		return s, nil
+	}
 	switch {
 	case name == "insecure":
 		return schemeInsecure(), nil
@@ -93,6 +109,7 @@ func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
 	ocfg.TimingProtection = s.TP
 	ocfg.TreetopLevels = s.Treetop
 	ocfg.XOR = s.XOR
+	ocfg.Pipeline = s.Pipeline
 	return sim.Spec{
 		Profile:  p,
 		CPU:      cpuCfg,
@@ -166,7 +183,16 @@ func (r Runner) RunMatrix(cpuCfg cpu.Config, schemes []Scheme) ([][]sim.Metrics,
 			}
 		}()
 	}
+	// Fail fast: once any cell errors, stop feeding the remaining cells —
+	// a sweep with hundreds of cells should not grind on after the first
+	// failure. In-flight cells finish; their results are kept.
 	for _, c := range cells {
+		mu.Lock()
+		failed := firstEr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
 		work <- c
 	}
 	close(work)
@@ -201,7 +227,14 @@ func parMap(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+	// Fail fast: stop feeding indices once any call has errored.
 	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstEr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
 		work <- i
 	}
 	close(work)

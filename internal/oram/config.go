@@ -53,6 +53,16 @@ type Config struct {
 	// available once the whole path has been read and XOR-ed.
 	XOR bool
 
+	// Pipeline enables the pipelined request engine: the eviction
+	// writeback of request N may overlap the path-read stage of request
+	// N+1, arbitrated by the DRAM model's per-bank reservation state so a
+	// read only starts once the first bank it needs can accept a command.
+	// The sequence of DRAM touches per request (addresses and real/dummy
+	// pattern) is exactly the serial engine's; only start cycles move.
+	// Off by default: the serial engine is the paper's timing model, and
+	// with Pipeline=false cycle counts are bit-identical to it.
+	Pipeline bool
+
 	// DisableShadowHits stops the stash from serving reads out of resident
 	// shadow blocks. Used by the security tests (with hits disabled, a
 	// shadow ORAM must produce a byte-identical external trace to Tiny

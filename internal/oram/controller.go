@@ -55,6 +55,12 @@ type Stats struct {
 	SumEndCycles uint64
 
 	DataAccessCycles int64 // sum over real requests of Done-Start (eq. 1)
+
+	// Pipelined-engine accounting: path reads that began while a previous
+	// eviction writeback was still draining, and the total overlap cycles
+	// reclaimed that way. Both stay zero with Pipeline off.
+	PipelinedReads uint64
+	OverlapCycles  uint64
 }
 
 // EventKind labels an externally visible ORAM operation.
@@ -102,6 +108,13 @@ type Controller struct {
 	lastDone    int64
 	emaAccess   int64 // smoothed duration of one ORAM request
 
+	// wbDrain is the completion cycle of the last eviction writeback still
+	// draining into DRAM. The serial engine folds it into busyUntil; the
+	// pipelined engine lets busyUntil (the read/decrypt datapath) free at
+	// the end of the eviction's path read and tracks the writeback here,
+	// so the next path read may overlap it.
+	wbDrain int64
+
 	stats        Stats
 	observer     func(Event)
 	mc           *metrics.Collector
@@ -148,11 +161,15 @@ func New(cfg Config, policy DupPolicy) (*Controller, error) {
 		return nil, fmt.Errorf("oram: %d blocks exceed the packed address space", hier.TotalBlocks())
 	}
 
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
 	c := &Controller{
 		cfg:        cfg,
 		geo:        geo,
 		layout:     tree.NewLayout(geo, cfg.BlockBytes, cfg.DRAM.RowBytes),
-		mem:        dram.New(cfg.DRAM),
+		mem:        mem,
 		store:      newTreeStore(geo, cfg.Functional),
 		st:         stash.New(cfg.StashCapacity),
 		policy:     policy,
@@ -287,8 +304,14 @@ func (c *Controller) PosLabel(addr uint32) uint32 { return c.pos.Label(addr) }
 // NumDataBlocks returns the data address space size.
 func (c *Controller) NumDataBlocks() int { return c.pos.Hierarchy().NumData() }
 
-// BusyUntil returns the cycle at which the controller goes idle.
+// BusyUntil returns the cycle at which the controller's read/decrypt
+// datapath frees. With Pipeline on, an eviction writeback may still be
+// draining into DRAM after this; completionCycle/Drain include it.
 func (c *Controller) BusyUntil() int64 { return c.busyUntil }
+
+// completionCycle is the cycle at which every piece of triggered work —
+// including a still-draining pipelined writeback — is finished.
+func (c *Controller) completionCycle() int64 { return max64(c.busyUntil, c.wbDrain) }
 
 // Request serves one LLC miss presented at cycle now. In timing-protection
 // mode, dummy requests are first issued for every unclaimed slot before
@@ -343,6 +366,7 @@ func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
 	}
 	cur := start
 	pmStart := cur
+	evictsBefore := c.evictCount
 	for i := fetchFrom - 1; i >= 1; i-- {
 		_, end, _, _ := c.oramAccess(cur, chain[i], false, true)
 		c.stats.PMAccesses++
@@ -358,9 +382,22 @@ func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
 		c.stats.OnChipHits++
 	}
 
-	out := Outcome{Start: start, Forward: forward, Done: c.busyUntil, OnChip: onChip}
-	c.stats.DataAccessCycles += out.Done - out.Start
-	c.lastDone = c.busyUntil
+	// Done is the completion of the work this request triggered: the read
+	// datapath, plus — only when one of its accesses tripped an eviction —
+	// the writeback still draining behind it. A pipelined request that
+	// merely overlapped someone else's writeback is not charged for it.
+	done := c.busyUntil
+	if c.evictCount != evictsBefore {
+		done = c.completionCycle()
+	}
+	out := Outcome{Start: start, Forward: forward, Done: done, OnChip: onChip}
+	// Eq. 1 charges the request's datapath window to data-access time. The
+	// serial engine's busyUntil includes the writeback, so this matches
+	// Done-Start there; the pipelined engine accounts a draining writeback
+	// as background (DRI) work, keeping the decomposition additive even
+	// when the next request's window overlaps the drain.
+	c.stats.DataAccessCycles += c.busyUntil - out.Start
+	c.lastDone = out.Done
 	if c.mc != nil {
 		c.observeRequest(now, addr, write, out, viaShadow, pmStart, pmEnd, fetchFrom-1)
 	}
@@ -527,17 +564,19 @@ func (c *Controller) issueDummy(start int64) {
 }
 
 // Drain returns the cycle at which all work completes.
-func (c *Controller) Drain() int64 { return c.busyUntil }
+func (c *Controller) Drain() int64 { return c.completionCycle() }
 
-// oramAccess performs one read-only ORAM access for addr (remapping it and
-// leaving it in the stash — or parking it in the PLB for posmap fetches),
-// plus the eviction phase when due. It returns the forward cycle of addr's
-// data, the completion cycle, whether the forward came from on-chip state,
-// and whether a tree shadow provided it.
+// oramAccess performs one read-only ORAM access for addr through the
+// engine's explicit stages — path read (which forwards the intended data
+// at its earliest copy's arrival), stash update, eviction writeback when
+// due. It returns the forward cycle of addr's data, the cycle the read
+// datapath frees, whether the forward came from on-chip state, and whether
+// a tree shadow provided it.
 func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool) (forward, end int64, onChip, viaShadow bool) {
 	start = max64(start, c.busyUntil)
 	label := c.pos.Label(addr)
 
+	// Stage: path read + forward.
 	var res readResult
 	forward, end, res = c.pathRead(start, label, addr, false)
 	if c.mc != nil && c.mc.Trace != nil {
@@ -552,7 +591,21 @@ func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool)
 		c.stats.SumEndCycles += uint64(end - start)
 	}
 
-	// Remap (Step-3): the intended block moves to a fresh random path.
+	// Stage: stash update (on-chip, overlapped with the read's tail).
+	c.stashUpdate(addr, write, parkInPLB)
+
+	// Stage: eviction writeback, every A accesses.
+	c.accessCount++
+	end = c.maybeEvict(end)
+	c.busyUntil = end
+	return forward, end, res.onChip, res.viaShadow
+}
+
+// stashUpdate is the stage between a path read and the eviction decision:
+// remap the intended block to a fresh random path (Step-3), install a
+// write's payload, capture the functional read payload, and park posmap
+// fetches in the PLB.
+func (c *Controller) stashUpdate(addr uint32, write, parkInPLB bool) {
 	newLabel := uint32(c.labelRNG.Uint64n(uint64(c.geo.NumLeaves())))
 	c.pos.SetLabel(addr, newLabel)
 	if _, ok := c.st.Lookup(addr); !ok {
@@ -580,16 +633,15 @@ func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool)
 		// phase can sweep them back into the tree.
 		c.fillPLB(addr)
 	}
-
-	c.accessCount++
-	end = c.maybeEvict(end)
-	c.busyUntil = end
-	return forward, end, res.onChip, res.viaShadow
 }
 
 // maybeEvict runs the read-write phase after every A read-only accesses
 // (Step-4..6): a path read of the next reverse-lexicographic path followed
-// by a path write refilling it from the stash.
+// by a path write refilling it from the stash. The serial engine returns
+// the writeback's completion; the pipelined engine returns the end of the
+// eviction's path read — the datapath frees once the refill decision is
+// made — and leaves the writeback draining in wbDrain, where the next path
+// read's bank arbitration sees it.
 func (c *Controller) maybeEvict(start int64) int64 {
 	if c.accessCount%uint64(c.cfg.A) != 0 {
 		return start
@@ -597,10 +649,18 @@ func (c *Controller) maybeEvict(start int64) int64 {
 	leaf := c.geo.ReverseLexLeaf(c.evictCount)
 	c.evictCount++
 	c.stats.EvictionPhases++
-	_, end, _ := c.pathRead(start, leaf, NoAddr, true)
-	end = c.pathWrite(end, leaf)
+	_, readEnd, _ := c.pathRead(start, leaf, NoAddr, true)
+	end := c.pathWrite(readEnd, leaf)
 	if c.mc != nil && c.mc.Trace != nil {
 		c.mc.Trace.Span("evict", "oram", tidBackground, start, end, map[string]any{"leaf": leaf})
+	}
+	if c.cfg.Pipeline {
+		c.wbDrain = end
+		if c.mc != nil && c.mc.Trace != nil {
+			c.mc.Trace.Span("evict.writeback", "oram", tidBackground, readEnd, end,
+				map[string]any{"leaf": leaf})
+		}
+		return readEnd
 	}
 	return end
 }
@@ -680,10 +740,28 @@ func (c *Controller) pathRead(start int64, leaf, intended uint32, collectAll boo
 	}
 	end = start + 1
 	if len(c.addrBuf) > 0 {
+		issue := start
+		if c.cfg.Pipeline {
+			// Overlap arbitration: the batch enters the memory system as
+			// soon as the first bank it needs can accept a command. While a
+			// writeback is still draining on every involved bank this waits
+			// exactly as the banks require; once any bank frees the read
+			// overlaps the remaining drain.
+			if free := c.mem.EarliestBatchStart(c.addrBuf); free > issue {
+				issue = free
+			}
+			if ov := c.wbDrain - issue; ov > 0 {
+				c.stats.PipelinedReads++
+				c.stats.OverlapCycles += uint64(ov)
+				c.mc.Observe("wb_overlap", issue, float64(ov))
+			} else if c.mc != nil {
+				c.mc.Observe("wb_overlap", issue, 0)
+			}
+		}
 		if c.cfg.XOR {
-			end = c.mem.ReadBatchOffBus(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+			end = c.mem.ReadBatchOffBus(issue, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
 		} else {
-			end = c.mem.ReadBatch(start, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+			end = c.mem.ReadBatch(issue, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
 		}
 	}
 	di := 0

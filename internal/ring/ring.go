@@ -150,11 +150,15 @@ func New(cfg Config, policy oram.DupPolicy) (*Controller, error) {
 	if policy == nil {
 		policy = oram.NopPolicy{}
 	}
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
 	c := &Controller{
 		cfg:        cfg,
 		geo:        geo,
 		layout:     tree.NewLayout(geo, cfg.BlockBytes, cfg.DRAM.RowBytes),
-		mem:        dram.New(cfg.DRAM),
+		mem:        mem,
 		st:         stash.New(cfg.StashCapacity),
 		policy:     policy,
 		slots:      make([]uint64, geo.NumSlots()),

@@ -105,7 +105,11 @@ func Run(spec Spec) (Metrics, error) {
 	}
 
 	if spec.Insecure {
-		mem := &insecureMemory{mem: dram.New(spec.ORAM.DRAM), blockBytes: spec.ORAM.BlockBytes}
+		dm, err := dram.New(spec.ORAM.DRAM)
+		if err != nil {
+			return Metrics{}, err
+		}
+		mem := &insecureMemory{mem: dm, blockBytes: spec.ORAM.BlockBytes}
 		spec.CPU.Metrics = spec.Metrics
 		res, err := cpu.Run(spec.CPU, traces, mem)
 		if err != nil {
