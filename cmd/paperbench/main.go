@@ -38,6 +38,7 @@ func main() {
 	obsBench := flag.String("obs-bench", "hmmer", "workload of the observation cell")
 	obsScheme := flag.String("obs-scheme", "dynamic-3", "scheme of the observation cell (accepts -pipe suffixed names)")
 	pipeline := flag.Bool("pipeline", false, "run the observation cell on the pipelined request engine")
+	channels := flag.Int("channels", 0, "run the observation cell on the N-channel memory system (same as a -cN scheme suffix)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 	}
 
 	if *metricsOut != "" || *traceOut != "" {
-		if err := observe(r, *obsBench, *obsScheme, *pipeline, *metricsOut, *traceOut); err != nil {
+		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *metricsOut, *traceOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func main() {
 
 // observe runs the single instrumented (bench, scheme) cell and writes its
 // metrics report and/or Chrome trace.
-func observe(r experiments.Runner, bench, scheme string, pipeline bool, metricsOut, traceOut string) error {
+func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels int, metricsOut, traceOut string) error {
 	p, ok := trace.ByName(bench)
 	if !ok {
 		return fmt.Errorf("observe: unknown benchmark %q", bench)
@@ -126,6 +127,12 @@ func observe(r experiments.Runner, bench, scheme string, pipeline bool, metricsO
 			return fmt.Errorf("observe: the insecure baseline has no ORAM engine to pipeline")
 		}
 		s.Pipeline = true
+	}
+	if channels > 0 {
+		if s.Insecure {
+			return fmt.Errorf("observe: the insecure baseline has no ORAM layout to interleave")
+		}
+		s.Channels = channels
 	}
 	col := metrics.New(metrics.Options{Tracing: traceOut != ""})
 	start := time.Now()

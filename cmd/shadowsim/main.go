@@ -34,6 +34,7 @@ func main() {
 	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with a -pipe suffix")
 	tp := flag.Bool("tp", false, "enable timing protection (constant-rate requests)")
 	pipeline := flag.Bool("pipeline", false, "pipelined request engine (same as a -pipe scheme suffix)")
+	channels := flag.Int("channels", 0, "multi-channel memory system with channel-interleaved layout (same as a -cN scheme suffix; 0 = legacy)")
 	refs := flag.Int("refs", 60000, "memory references per core")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	treetop := flag.Int("treetop", 0, "cache the top N tree levels on-chip")
@@ -67,6 +68,13 @@ func main() {
 	ocfg.TreetopLevels = *treetop
 	ocfg.XOR = *xor
 	ocfg.Pipeline = s.Pipeline || *pipeline
+	ocfg.Channels = s.Channels
+	if *channels > 0 {
+		ocfg.Channels = *channels
+	}
+	if s.Insecure && ocfg.Channels > 0 {
+		fail(fmt.Errorf("the insecure baseline has no ORAM layout to interleave"))
+	}
 	if *level > 0 {
 		ocfg.L = *level
 	}
@@ -98,8 +106,8 @@ func main() {
 	}
 
 	fmt.Printf("workload        %s (%d refs, seed %d)\n", p.Name, *refs, *seed)
-	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v cpu=%s)\n",
-		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, *cpuType)
+	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v channels=%d cpu=%s)\n",
+		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, *cpuType)
 	fmt.Printf("total cycles    %d\n", m.Cycles)
 	fmt.Printf("  data access   %d (%.1f%%)\n", m.DataAccess, 100*float64(m.DataAccess)/float64(m.Cycles))
 	fmt.Printf("  DRI           %d (%.1f%%)\n", m.DRI, 100*float64(m.DRI)/float64(m.Cycles))

@@ -169,3 +169,68 @@ func BenchmarkCacheAccess(b *testing.B) {
 		c.Access(uint64(i*64%(1<<22)), false)
 	}
 }
+
+func TestHotAddrDoorkeeperWrapEvicts(t *testing.T) {
+	h := NewHotAddrCache(128, 4)
+	ring := len(h.doorRing)
+
+	h.Touch(5) // first touch: doorkeeper only
+	// A full ring of distinct first touches reclaims 5's slot...
+	for i := 0; i < ring; i++ {
+		h.Touch(uint32(1_000_000 + i))
+	}
+	if _, ok := h.door[5]; ok {
+		t.Fatal("wrapped-over address still in the door map")
+	}
+	// ...so the next touch of 5 is a fresh first sighting, not an admission.
+	h.Touch(5)
+	if got := h.Count(5); got != 0 {
+		t.Fatalf("single touch after wrap admitted: Count(5) = %d, want 0", got)
+	}
+	h.Touch(5)
+	if got := h.Count(5); got != 2 {
+		t.Fatalf("second touch within the window must admit: Count(5) = %d, want 2", got)
+	}
+	// The map never outgrows the ring, however long the one-touch stream.
+	for i := 0; i < 3*ring; i++ {
+		h.Touch(uint32(2_000_000 + i))
+	}
+	if len(h.door) > ring {
+		t.Fatalf("door map grew past the ring: %d entries for %d slots", len(h.door), ring)
+	}
+}
+
+func TestHotAddrDoorkeeperWrapSurvivesStaleSlots(t *testing.T) {
+	// Regression: the ring used to store addr+1 with 0 as the empty
+	// sentinel, so MaxUint32 wrapped to the sentinel and its door entry
+	// survived the ring forever, admitting it on any later single touch.
+	h := NewHotAddrCache(128, 4)
+	const hot = ^uint32(0)
+	h.Touch(hot)
+	for i := 0; i < len(h.doorRing); i++ {
+		h.Touch(uint32(1_000_000 + i))
+	}
+	if _, ok := h.door[hot]; ok {
+		t.Fatal("MaxUint32 door entry survived a full ring wrap")
+	}
+	h.Touch(hot)
+	if got := h.Count(hot); got != 0 {
+		t.Fatalf("stale door entry admitted MaxUint32 on one touch: Count = %d", got)
+	}
+
+	// A manufactured stale slot — the ring cell points at an address whose
+	// live entry lives elsewhere — must not evict the live entry on wrap.
+	h2 := NewHotAddrCache(128, 4)
+	h2.Touch(9) // live entry in slot 0
+	h2.doorRing[1] = 9
+	h2.doorUsed[1] = true // stale duplicate: door[9] still points at slot 0
+	h2.doorPos = 1
+	h2.Touch(77) // reclaims slot 1; must leave door[9] alone
+	if _, ok := h2.door[9]; !ok {
+		t.Fatal("stale ring slot evicted the live door entry")
+	}
+	h2.Touch(9)
+	if got := h2.Count(9); got != 2 {
+		t.Fatalf("live entry lost its admission window: Count(9) = %d, want 2", got)
+	}
+}

@@ -15,8 +15,14 @@ type HotAddrCache struct {
 	ways    int
 	setMask uint32
 
-	door     map[uint32]struct{}
+	// door maps a first-touched address to the ring slot holding it, so a
+	// wrap evicts exactly the map entry whose slot is being reclaimed — a
+	// stale slot (the address was re-inserted elsewhere, or the slot
+	// predates the entry) deletes nothing. doorUsed marks occupied slots;
+	// address 0 is legal, so occupancy cannot ride on the value itself.
+	door     map[uint32]int
 	doorRing []uint32
+	doorUsed []bool
 	doorPos  int
 }
 
@@ -42,8 +48,9 @@ func NewHotAddrCache(entries, ways int) *HotAddrCache {
 		sets:     make([][]hotLine, nsets),
 		ways:     ways,
 		setMask:  uint32(nsets - 1),
-		door:     make(map[uint32]struct{}, doorEntries),
+		door:     make(map[uint32]int, doorEntries),
 		doorRing: make([]uint32, doorEntries),
+		doorUsed: make([]bool, doorEntries),
 	}
 	for i := range h.sets {
 		h.sets[i] = make([]hotLine, ways)
@@ -65,15 +72,20 @@ func (h *HotAddrCache) Touch(addr uint32) {
 			return
 		}
 	}
-	// First sighting goes to the doorkeeper only. The ring stores addr+1
-	// so that zero means "empty" (address 0 is legal).
+	// First sighting goes to the doorkeeper only. The wrap evicts the
+	// address whose slot is being reclaimed, but only if that slot is
+	// still the one the map points at — otherwise the slot is stale and
+	// the live entry must survive.
 	if _, seen := h.door[addr]; !seen {
-		if old := h.doorRing[h.doorPos]; old != 0 {
-			delete(h.door, old-1)
+		if h.doorUsed[h.doorPos] {
+			if old := h.doorRing[h.doorPos]; h.door[old] == h.doorPos {
+				delete(h.door, old)
+			}
 		}
-		h.doorRing[h.doorPos] = addr + 1
+		h.doorRing[h.doorPos] = addr
+		h.doorUsed[h.doorPos] = true
+		h.door[addr] = h.doorPos
 		h.doorPos = (h.doorPos + 1) % len(h.doorRing)
-		h.door[addr] = struct{}{}
 		return
 	}
 	// Second touch within the window: admit, evicting the LFU way.

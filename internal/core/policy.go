@@ -157,7 +157,9 @@ func New(ocfg oram.Config, pcfg Config) (*oram.Controller, *Policy, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	p.bind(ctrl.Geometry(), ctrl.Stash())
+	if err := p.bind(ctrl.Geometry(), ctrl.Stash()); err != nil {
+		return nil, nil, err
+	}
 	return ctrl, p, nil
 }
 
@@ -169,7 +171,9 @@ func NewPolicy(pcfg Config, geo tree.Geometry, st *stash.Stash) (*Policy, error)
 	if err != nil {
 		return nil, err
 	}
-	p.bind(geo, st)
+	if err := p.bind(geo, st); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -195,7 +199,14 @@ func MustNew(ocfg oram.Config, pcfg Config) (*oram.Controller, *Policy) {
 	return c, p
 }
 
-func (p *Policy) bind(geo tree.Geometry, st *stash.Stash) {
+// bind fixes the policy to a tree geometry. Partition levels live in
+// [0, L+1]; a static level above L+1 is a configuration error, not
+// something to clamp silently — the caller asked for a split the tree
+// cannot express.
+func (p *Policy) bind(geo tree.Geometry, st *stash.Stash) error {
+	if p.cfg.Mode == ModeStatic && p.cfg.PartitionLevel > geo.L+1 {
+		return fmt.Errorf("core: static partition level %d above the tree's top level %d", p.cfg.PartitionLevel, geo.L+1)
+	}
 	p.geo = geo
 	p.st = st
 	switch p.cfg.Mode {
@@ -204,12 +215,13 @@ func (p *Policy) bind(geo tree.Geometry, st *stash.Stash) {
 	case ModeHD:
 		p.partition = geo.L + 1
 	case ModeStatic:
-		p.partition = minInt(p.cfg.PartitionLevel, geo.L+1)
+		p.partition = p.cfg.PartitionLevel
 	case ModeDynamic:
 		p.partition = (geo.L + 1) / 2
 		p.counterMax = 1<<uint(p.cfg.DRICounterBits) - 1
 		p.counter = (p.counterMax + 1) / 2
 	}
+	return nil
 }
 
 // Partition returns the current partitioning level (levels below it use
@@ -414,11 +426,4 @@ func (p *Policy) NoteORAMRequest(dummy bool) {
 // ranks shadows for stash retention.
 func (p *Policy) ShadowPriority(addr uint32) uint64 {
 	return p.hac.Count(addr)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -67,6 +67,7 @@ type bank struct {
 
 type channel struct {
 	busFreeAt int64
+	busBusy   int64 // cumulative cycles of reserved data-bus occupancy
 	banks     []bank
 }
 
@@ -131,6 +132,32 @@ func (m *Memory) Backlog(now int64) int64 {
 	return worst
 }
 
+// NumChannels returns the number of independent channels.
+func (m *Memory) NumChannels() int { return m.cfg.Channels }
+
+// ChannelOf returns the index of the channel owning addr, as decided by the
+// address interleaving. Tree layouts use it to split a path's blocks into
+// per-channel sub-batches.
+func (m *Memory) ChannelOf(addr uint64) int {
+	ch, _, _ := m.mapAddr(addr)
+	return ch
+}
+
+// ChannelBacklog reports the remaining reserved data-bus work of one
+// channel at cycle now (the per-channel variant of Backlog).
+func (m *Memory) ChannelBacklog(ch int, now int64) int64 {
+	if d := m.channels[ch].busFreeAt - now; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// ChannelBusy returns the cumulative cycles of data-bus occupancy reserved
+// on channel ch so far. Divided by elapsed simulated time it is the
+// channel's bus utilisation — the observability layer's per-channel load
+// signal.
+func (m *Memory) ChannelBusy(ch int) int64 { return m.channels[ch].busBusy }
+
 // mapAddr decomposes a physical byte address. Rows are interleaved across
 // channels first and banks second, so that consecutive subtrees of the ORAM
 // layout land on different channels/banks and a path access enjoys
@@ -181,6 +208,7 @@ func (m *Memory) Access(now int64, addr uint64, write, transferOnBus bool) int64
 
 	if transferOnBus {
 		c.busFreeAt = done
+		c.busBusy += m.cfg.TBURST
 	}
 	// Column commands to an open row pipeline at tCCD for reads and writes
 	// alike (CAS latency overlaps with the next command); tWR only gates a

@@ -47,6 +47,7 @@ type Scheme struct {
 	Treetop  int
 	XOR      bool
 	Pipeline bool // pipelined request engine (writeback/read overlap)
+	Channels int  // multi-channel memory system; 0 = legacy layout
 }
 
 // The named schemes of the evaluation.
@@ -62,9 +63,29 @@ func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
 // ParseScheme maps a scheme name — the cmd/shadowsim vocabulary: insecure,
 // tiny, rd, hd, static-N, dynamic-N — to its Scheme. Any ORAM scheme name
 // may carry a "-pipe" suffix (tiny-pipe, dynamic-3-pipe, ...) selecting
-// the pipelined request engine; the insecure baseline has no ORAM engine
-// to pipeline, so insecure-pipe is rejected.
+// the pipelined request engine, and/or an outermost "-cN" suffix
+// (tiny-c4, dynamic-3-pipe-c2, ...) selecting the N-channel memory system
+// with the channel-interleaved layout; the insecure baseline has no ORAM
+// engine to pipeline or interleave, so those suffixes are rejected on it.
 func ParseScheme(name string) (Scheme, error) {
+	if i := strings.LastIndex(name, "-c"); i > 0 {
+		if n, err := strconv.Atoi(name[i+2:]); err == nil {
+			if n < 1 {
+				return Scheme{}, fmt.Errorf("experiments: scheme %q: channel count must be >= 1", name)
+			}
+			base := name[:i]
+			if base == "insecure" {
+				return Scheme{}, fmt.Errorf("experiments: scheme %q: the insecure baseline has no ORAM layout to interleave", name)
+			}
+			s, err := ParseScheme(base)
+			if err != nil {
+				return Scheme{}, err
+			}
+			s.Name = name
+			s.Channels = n
+			return s, nil
+		}
+	}
 	if base, ok := strings.CutSuffix(name, "-pipe"); ok {
 		if base == "insecure" {
 			return Scheme{}, fmt.Errorf("experiments: scheme %q: the insecure baseline has no ORAM engine to pipeline", name)
@@ -110,6 +131,7 @@ func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
 	ocfg.TreetopLevels = s.Treetop
 	ocfg.XOR = s.XOR
 	ocfg.Pipeline = s.Pipeline
+	ocfg.Channels = s.Channels
 	return sim.Spec{
 		Profile:  p,
 		CPU:      cpuCfg,

@@ -149,3 +149,39 @@ func TestPipelineSchemeFaster(t *testing.T) {
 		t.Fatal("wb_overlap time-series missing from the pipelined run")
 	}
 }
+
+func TestParseSchemeChannelSuffix(t *testing.T) {
+	cases := []struct {
+		name     string
+		channels int
+		pipeline bool
+	}{
+		{"tiny-c2", 2, false},
+		{"rd-c4", 4, false},
+		{"static-7-c2", 2, false},
+		{"dynamic-3-c1", 1, false},
+		{"dynamic-3-pipe-c2", 2, true},
+		{"tiny-c4-pipe", 4, true}, // suffix order is forgiving
+	}
+	for _, tc := range cases {
+		s, err := ParseScheme(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if s.Channels != tc.channels || s.Pipeline != tc.pipeline || s.Name != tc.name {
+			t.Fatalf("%s parsed to %+v", tc.name, s)
+		}
+	}
+	if s := mustScheme(t, "dynamic-3"); s.Channels != 0 {
+		t.Fatal("plain scheme name must not select channel mode")
+	}
+	// static-12 must keep its numeric tail: "-12" is not a channel suffix.
+	if s := mustScheme(t, "static-12"); s.Channels != 0 || s.Policy == nil || s.Policy.PartitionLevel != 12 {
+		t.Fatalf("static-12 parsed to %+v", s)
+	}
+	for _, bad := range []string{"insecure-c2", "tiny-c0", "tiny-c", "bogus-c2"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Fatalf("%s: expected an error", bad)
+		}
+	}
+}

@@ -63,6 +63,17 @@ type Config struct {
 	// with Pipeline=false cycle counts are bit-identical to it.
 	Pipeline bool
 
+	// Channels > 0 selects the multi-channel memory system: the DRAM model
+	// runs with that many channels (overriding DRAM.Channels), the tree
+	// uses the channel-interleaved subtree layout (each path's rows split
+	// evenly across channels), and path reads and eviction writebacks
+	// issue one sub-batch per channel. Which slots are touched, and in
+	// what per-request order, is identical to the legacy engine — only
+	// timing differs — and Channels=1 is cycle-identical to the legacy
+	// layout on a single-channel DRAM config. 0 (the default) keeps the
+	// legacy contiguous layout with DRAM.Channels as configured.
+	Channels int
+
 	// DisableShadowHits stops the stash from serving reads out of resident
 	// shadow blocks. Used by the security tests (with hits disabled, a
 	// shadow ORAM must produce a byte-identical external trace to Tiny
@@ -127,6 +138,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("oram: timing protection needs a positive request rate")
 	case c.TreetopLevels < 0 || c.TreetopLevels > c.L+1:
 		return fmt.Errorf("oram: TreetopLevels=%d outside [0,%d]", c.TreetopLevels, c.L+1)
+	case c.Channels < 0 || c.Channels > 64:
+		return fmt.Errorf("oram: Channels=%d outside [0,64]", c.Channels)
+	case c.Channels > 0 && c.Z*c.BlockBytes > c.DRAM.RowBytes:
+		return fmt.Errorf("oram: channel-interleaved layout needs a bucket (%d B) to fit a DRAM row (%d B)",
+			c.Z*c.BlockBytes, c.DRAM.RowBytes)
 	}
 	return c.DRAM.Validate()
 }

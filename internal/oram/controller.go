@@ -131,6 +131,16 @@ type Controller struct {
 	arrivalBuf []int64
 	poolsBuf   [][]uint32
 	placedData map[uint32][]byte
+
+	// Channel-mode state (cfg.Channels > 0): per-channel sub-batch staging
+	// and precomputed span/series names, so the hot path never formats
+	// strings or allocates.
+	chanAddrs     [][]uint64
+	chanIdx       [][]int
+	chanDone      []int64
+	chanSpanRead  []string
+	chanSpanWrite []string
+	chanSeries    []string
 }
 
 // New builds and initialises a controller: every block of the unified
@@ -161,14 +171,26 @@ func New(cfg Config, policy DupPolicy) (*Controller, error) {
 		return nil, fmt.Errorf("oram: %d blocks exceed the packed address space", hier.TotalBlocks())
 	}
 
-	mem, err := dram.New(cfg.DRAM)
+	// Channel mode swaps in the channel-interleaved layout and sizes the
+	// memory system to match; the legacy layout leaves DRAM.Channels alone
+	// and lets the plain row interleaving place subtrees.
+	dcfg := cfg.DRAM
+	layout := tree.NewLayout(geo, cfg.BlockBytes, cfg.DRAM.RowBytes)
+	if cfg.Channels > 0 {
+		dcfg.Channels = cfg.Channels
+		layout, err = tree.NewChannelLayout(geo, cfg.BlockBytes, cfg.DRAM.RowBytes, cfg.Channels)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mem, err := dram.New(dcfg)
 	if err != nil {
 		return nil, err
 	}
 	c := &Controller{
 		cfg:        cfg,
 		geo:        geo,
-		layout:     tree.NewLayout(geo, cfg.BlockBytes, cfg.DRAM.RowBytes),
+		layout:     layout,
 		mem:        mem,
 		store:      newTreeStore(geo, cfg.Functional),
 		st:         stash.New(cfg.StashCapacity),
@@ -183,6 +205,21 @@ func New(cfg Config, policy DupPolicy) (*Controller, error) {
 		poolsBuf:   make([][]uint32, geo.Levels()),
 		placedData: make(map[uint32][]byte),
 		emaAccess:  1,
+	}
+	if cfg.Channels > 0 {
+		c.chanAddrs = make([][]uint64, cfg.Channels)
+		c.chanIdx = make([][]int, cfg.Channels)
+		c.chanSpanRead = make([]string, cfg.Channels)
+		c.chanSpanWrite = make([]string, cfg.Channels)
+		c.chanSeries = make([]string, cfg.Channels)
+		for ch := 0; ch < cfg.Channels; ch++ {
+			c.chanAddrs[ch] = make([]uint64, 0, geo.PathLen())
+			c.chanIdx[ch] = make([]int, 0, geo.PathLen())
+			c.chanSpanRead[ch] = fmt.Sprintf("path.read.c%d", ch)
+			c.chanSpanWrite[ch] = fmt.Sprintf("path.write.c%d", ch)
+			c.chanSeries[ch] = fmt.Sprintf("dram_util_c%d", ch)
+		}
+		c.chanDone = make([]int64, geo.PathLen())
 	}
 	c.pos = posmap.NewStore(hier, geo.NumLeaves(), rng.NewXoshiro(cfg.Seed*0xc2b2ae35+3))
 	if !cfg.DirectPosMap {
@@ -430,6 +467,14 @@ func (c *Controller) observeRequest(issue int64, addr uint32, write bool, out Ou
 		mc.Observe("partition", issue, float64(c.partitionOf()))
 	}
 	mc.Observe("dram_backlog", issue, float64(c.mem.Backlog(issue)))
+	// Channel mode: per-channel bus utilisation so far (reserved burst
+	// cycles over elapsed time) — the signal that shows whether the
+	// interleaved layout really balances the path across channels.
+	if c.chanSeries != nil && issue > 0 {
+		for ch, name := range c.chanSeries {
+			mc.Observe(name, issue, float64(c.mem.ChannelBusy(ch))/float64(issue))
+		}
+	}
 	tr := mc.Trace
 	if tr == nil {
 		return
@@ -457,10 +502,12 @@ func (c *Controller) observeRequest(issue int64, addr uint32, write bool, out Ou
 }
 
 // Trace lanes: requests on one Perfetto track, background work (evictions,
-// timing-protection dummies) on another.
+// timing-protection dummies) on another, and — in channel mode — one track
+// per DRAM channel (tidChannel0 + ch) carrying that channel's sub-batches.
 const (
 	tidRequest    = 0
 	tidBackground = 1
+	tidChannel0   = 2
 )
 
 // writeValue produces the payload stored by a write in functional mode:
@@ -758,10 +805,14 @@ func (c *Controller) pathRead(start int64, leaf, intended uint32, collectAll boo
 				c.mc.Observe("wb_overlap", issue, 0)
 			}
 		}
+		op := dram.OpRead
 		if c.cfg.XOR {
-			end = c.mem.ReadBatchOffBus(issue, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+			op = dram.OpReadOffBus
+		}
+		if c.cfg.Channels > 0 {
+			end = c.channelBatch(issue, op, c.chanSpanRead)
 		} else {
-			end = c.mem.ReadBatch(issue, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
+			end = c.mem.ReserveBatch(issue, op, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
 		}
 	}
 	di := 0
@@ -929,9 +980,58 @@ func (c *Controller) pathWrite(start int64, leaf uint32) int64 {
 	}
 	end := start + 1
 	if len(c.addrBuf) > 0 {
-		end = c.mem.WriteBatch(start, c.addrBuf)
+		if c.cfg.Channels > 0 {
+			end = c.channelBatch(start, dram.OpWrite, c.chanSpanWrite)
+		} else {
+			end = c.mem.WriteBatch(start, c.addrBuf)
+		}
 	}
 	c.policy.EndPathWrite()
+	return end
+}
+
+// channelBatch issues the access staged in addrBuf as one sub-batch per
+// DRAM channel, all entering the memory system at the same cycle. Channels
+// have independent banks and buses and each sub-batch preserves the
+// root-to-leaf order of its addresses, so every per-slot completion cycle —
+// scattered back into doneBuf for reads — is identical to issuing the whole
+// interleaved batch at once; what the split buys is that the layout has
+// already spread the path's rows evenly, so the sub-batches genuinely run
+// in parallel. Returns the completion cycle of the slowest channel.
+func (c *Controller) channelBatch(issue int64, op dram.Op, spans []string) int64 {
+	for ch := range c.chanAddrs {
+		c.chanAddrs[ch] = c.chanAddrs[ch][:0]
+		c.chanIdx[ch] = c.chanIdx[ch][:0]
+	}
+	for i, a := range c.addrBuf {
+		ch := c.mem.ChannelOf(a)
+		c.chanAddrs[ch] = append(c.chanAddrs[ch], a)
+		c.chanIdx[ch] = append(c.chanIdx[ch], i)
+	}
+	tracing := c.mc != nil && c.mc.Trace != nil
+	var end int64
+	for ch, sub := range c.chanAddrs {
+		if len(sub) == 0 {
+			continue
+		}
+		var done []int64
+		if op != dram.OpWrite {
+			done = c.chanDone[:len(sub)]
+		}
+		chEnd := c.mem.ReserveBatch(issue, op, sub, done)
+		for j, slot := range c.chanIdx[ch] {
+			if done != nil {
+				c.doneBuf[slot] = done[j]
+			}
+		}
+		if tracing {
+			c.mc.Trace.Span(spans[ch], "dram", tidChannel0+ch, issue, chEnd,
+				map[string]any{"blocks": len(sub)})
+		}
+		if chEnd > end {
+			end = chEnd
+		}
+	}
 	return end
 }
 

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
@@ -58,15 +59,16 @@ type Metrics struct {
 	Obs *metrics.Report
 }
 
-// oramMemory adapts an ORAM controller to the cpu.Memory interface,
-// folding trace block addresses into the data address space.
+// oramMemory adapts an ORAM controller to the cpu.Memory interface. Trace
+// block addresses map one-to-one onto ORAM data blocks: Run rejects specs
+// whose footprint exceeds the data space, so no two trace addresses ever
+// alias onto one block (folding them would silently inflate hit rates).
 type oramMemory struct {
-	ctrl  *oram.Controller
-	space uint32
+	ctrl *oram.Controller
 }
 
 func (m *oramMemory) Request(now int64, addr uint32, write bool) (int64, int64) {
-	out := m.ctrl.Request(now, addr%m.space, write)
+	out := m.ctrl.Request(now, addr, write)
 	return out.Forward, out.Done
 }
 
@@ -128,6 +130,15 @@ func Run(spec Spec) (Metrics, error) {
 		return m, nil
 	}
 
+	// The identity trace-to-ORAM address mapping needs the whole footprint
+	// to fit the data space; 2^(L+2) data blocks need L >= log2(fp)-2.
+	if fp := spec.Profile.FootprintBlocks; fp > spec.ORAM.NumDataBlocks() {
+		minL := bits.Len(uint(fp-1)) - 2
+		return Metrics{}, fmt.Errorf(
+			"sim: %s footprint (%d blocks) exceeds the ORAM data space (%d blocks at L=%d); need L >= %d or a scaled-down profile",
+			spec.Profile.Name, fp, spec.ORAM.NumDataBlocks(), spec.ORAM.L, minL)
+	}
+
 	var ctrl *oram.Controller
 	var pol *core.Policy
 	var err error
@@ -146,7 +157,7 @@ func Run(spec Spec) (Metrics, error) {
 		}
 		spec.CPU.Metrics = spec.Metrics
 	}
-	mem := &oramMemory{ctrl: ctrl, space: uint32(ctrl.NumDataBlocks())}
+	mem := &oramMemory{ctrl: ctrl}
 	res, err := cpu.Run(spec.CPU, traces, mem)
 	if err != nil {
 		return Metrics{}, err

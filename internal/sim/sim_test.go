@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"shadowblock/internal/core"
@@ -223,5 +224,31 @@ func TestEnergyMonotoneInTraffic(t *testing.T) {
 	}
 	if Energy(low, 1000) >= Energy(low, 1_000_000) {
 		t.Fatal("energy not monotone in runtime (static power)")
+	}
+}
+
+// TestRunRejectsOversizedFootprint is the regression test for the address
+// aliasing bug: trace addresses used to be folded with addr % space, so a
+// workload whose footprint exceeded the ORAM data space silently collapsed
+// distinct blocks onto one and inflated hit rates. The run must instead be
+// rejected with a configuration error naming the minimum tree size.
+func TestRunRejectsOversizedFootprint(t *testing.T) {
+	spec := smallSpec(t)
+	// sjeng/16 touches 16384 blocks: exactly 2^(12+2), so L=12 fits...
+	if spec.Profile.FootprintBlocks != spec.ORAM.NumDataBlocks() {
+		t.Fatalf("test premise broken: footprint %d != data space %d",
+			spec.Profile.FootprintBlocks, spec.ORAM.NumDataBlocks())
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatalf("exact-fit footprint must run: %v", err)
+	}
+	// ...and one level less must refuse rather than alias.
+	spec.ORAM.L = 11
+	_, err := Run(spec)
+	if err == nil {
+		t.Fatal("footprint larger than the data space must be rejected")
+	}
+	if !strings.Contains(err.Error(), "footprint") || !strings.Contains(err.Error(), "L >= 12") {
+		t.Fatalf("error %q should name the footprint and the minimum L", err)
 	}
 }

@@ -1,20 +1,34 @@
 package tree
 
+import "fmt"
+
 // Layout maps buckets of an ORAM tree to physical DRAM byte addresses using
 // the subtree layout of Ren et al. (ISCA'13): the tree is partitioned into
 // aligned subtrees of SubtreeHeight levels, and each subtree's buckets are
 // stored contiguously so that one subtree fits inside (at most) one DRAM
 // row. A path access then touches roughly (L+1)/SubtreeHeight rows instead
 // of L+1, which is what makes high DRAM utilisation possible.
+//
+// A layout built by NewChannelLayout additionally pins each subtree band to
+// a DRAM channel, round-robin by band, so the rows of any single path are
+// spread evenly across all channels instead of landing wherever the plain
+// row-interleaving happens to put them.
 type Layout struct {
 	geo           Geometry
 	BlockBytes    int // bytes per block (ciphertext)
 	SubtreeHeight int // levels per subtree
-	bucketBytes   int
-	subtreeBytes  int
+	// Channels > 0 selects the channel-interleaved placement; 0 is the
+	// plain contiguous-subtree layout.
+	Channels     int
+	bucketBytes  int
+	subtreeBytes int
 	// subtreeBuckets is the number of buckets in a full subtree,
 	// 2^SubtreeHeight - 1.
 	subtreeBuckets int
+	rowBytes       int
+	// bandSlotStart[b] is, for the channel owning band b, the per-channel
+	// subtree slot index of band b's first subtree (channel mode only).
+	bandSlotStart []int
 }
 
 // NewLayout builds a subtree layout for geometry geo with the given block
@@ -43,6 +57,52 @@ func NewLayout(geo Geometry, blockBytes, rowBytes int) Layout {
 	}
 }
 
+// NewChannelLayout builds a channel-interleaved subtree layout: subtree
+// band b (levels [b*h, (b+1)*h)) lives on channel b mod channels, and the
+// row indices chosen for a band's subtrees are congruent to that channel
+// under the memory system's rowIdx-mod-channels interleaving. A path
+// touches one subtree per band, so its ~(L+1)/h rows split across the
+// channels as evenly as arithmetic allows, instead of queueing on one bus.
+//
+// With channels = 1 the produced byte addresses are identical to
+// NewLayout's, which is what pins the single-channel engine to the legacy
+// timing. A bucket must fit in one DRAM row (the subtree height the plain
+// layout would pick already guarantees a whole subtree does).
+func NewChannelLayout(geo Geometry, blockBytes, rowBytes, channels int) (Layout, error) {
+	bucketBytes := geo.Z * blockBytes
+	if channels < 1 {
+		return Layout{}, fmt.Errorf("tree: channel layout needs channels >= 1, got %d", channels)
+	}
+	if bucketBytes > rowBytes {
+		return Layout{}, fmt.Errorf("tree: bucket (%d B) exceeds a DRAM row (%d B); the channel-interleaved layout stores whole subtrees per row", bucketBytes, rowBytes)
+	}
+	ly := NewLayout(geo, blockBytes, rowBytes)
+	ly.Channels = channels
+	ly.rowBytes = rowBytes
+
+	// Per-channel slot numbering: band b holds 2^(b*h) subtrees; a band's
+	// first subtree sits after every earlier band on the same channel.
+	numBands := (geo.L + ly.SubtreeHeight) / ly.SubtreeHeight
+	ly.bandSlotStart = make([]int, numBands)
+	perChannel := make([]int, channels)
+	for b := 0; b < numBands; b++ {
+		ch := b % channels
+		ly.bandSlotStart[b] = perChannel[ch]
+		perChannel[ch] += 1 << uint(b*ly.SubtreeHeight)
+	}
+	return ly, nil
+}
+
+// ChannelOf returns the DRAM channel the bucket's subtree is pinned to.
+// Only meaningful for channel-interleaved layouts; the plain layout leaves
+// channel selection to the memory system's row interleaving and returns 0.
+func (ly Layout) ChannelOf(bucket int) int {
+	if ly.Channels <= 0 {
+		return 0
+	}
+	return (ly.geo.BucketLevel(bucket) / ly.SubtreeHeight) % ly.Channels
+}
+
 // BucketAddr returns the physical byte address of the first block of the
 // given bucket.
 //
@@ -63,6 +123,19 @@ func (ly Layout) BucketAddr(bucket int) uint64 {
 	// pos >> local.
 	subRootPos := pos >> uint(local)
 
+	// Local heap index of the bucket within its subtree.
+	localIdx := (1 << uint(local)) - 1 + (pos - subRootPos<<uint(local))
+
+	if ly.Channels > 0 {
+		// One subtree per row; the row index is congruent to the band's
+		// channel so the memory system's rowIdx-mod-channels interleaving
+		// lands the subtree exactly there.
+		ch := band % ly.Channels
+		slot := ly.bandSlotStart[band] + subRootPos
+		row := slot*ly.Channels + ch
+		return uint64(row)*uint64(ly.rowBytes) + uint64(localIdx)*uint64(ly.bucketBytes)
+	}
+
 	// Number the subtrees: all subtrees in shallower bands come first, then
 	// subtrees within this band in position order.
 	var before int
@@ -70,9 +143,6 @@ func (ly Layout) BucketAddr(bucket int) uint64 {
 		before += 1 << uint(b*h)
 	}
 	subtreeIdx := before + subRootPos
-
-	// Local heap index of the bucket within its subtree.
-	localIdx := (1 << uint(local)) - 1 + (pos - subRootPos<<uint(local))
 
 	return uint64(subtreeIdx)*uint64(ly.subtreeBytes) + uint64(localIdx)*uint64(ly.bucketBytes)
 }
@@ -84,6 +154,28 @@ func (ly Layout) SlotAddr(bucket, slot int) uint64 {
 
 // TotalBytes returns the physical footprint of the whole tree.
 func (ly Layout) TotalBytes() uint64 {
+	if ly.Channels > 0 {
+		// The footprint ends one past the last bucket of whichever band's
+		// final subtree owns the highest address: its row, plus the bytes of
+		// the subtree's buckets (a band deeper than the tree's remaining
+		// levels holds truncated subtrees). Matches the legacy layout's
+		// last-slot arithmetic when Channels is 1.
+		h := ly.SubtreeHeight
+		var end uint64
+		for b, start := range ly.bandSlotStart {
+			slots := 1 << uint(b*h)
+			lastRow := (start+slots-1)*ly.Channels + b%ly.Channels
+			levels := h
+			if rem := ly.geo.L + 1 - b*h; rem < levels {
+				levels = rem
+			}
+			buckets := (1 << uint(levels)) - 1
+			if e := uint64(lastRow)*uint64(ly.rowBytes) + uint64(buckets)*uint64(ly.bucketBytes); e > end {
+				end = e
+			}
+		}
+		return end
+	}
 	// Address one past the last slot of the last bucket.
 	last := ly.geo.NumBuckets() - 1
 	return ly.SlotAddr(last, ly.geo.Z-1) + uint64(ly.BlockBytes)
