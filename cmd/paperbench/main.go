@@ -39,6 +39,7 @@ func main() {
 	obsScheme := flag.String("obs-scheme", "dynamic-3", "scheme of the observation cell (accepts -pipe suffixed names)")
 	pipeline := flag.Bool("pipeline", false, "run the observation cell on the pipelined request engine")
 	channels := flag.Int("channels", 0, "run the observation cell on the N-channel memory system (same as a -cN scheme suffix)")
+	cores := flag.Int("cores", 0, "run the observation cell with N issuing cores (same as a -coreN scheme suffix)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
 
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	if *metricsOut != "" || *traceOut != "" {
-		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *metricsOut, *traceOut); err != nil {
+		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *cores, *metricsOut, *traceOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -113,7 +114,7 @@ func main() {
 
 // observe runs the single instrumented (bench, scheme) cell and writes its
 // metrics report and/or Chrome trace.
-func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels int, metricsOut, traceOut string) error {
+func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels, cores int, metricsOut, traceOut string) error {
 	p, ok := trace.ByName(bench)
 	if !ok {
 		return fmt.Errorf("observe: unknown benchmark %q", bench)
@@ -133,6 +134,9 @@ func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels
 			return fmt.Errorf("observe: the insecure baseline has no ORAM layout to interleave")
 		}
 		s.Channels = channels
+	}
+	if cores > 0 {
+		s.Cores = cores
 	}
 	col := metrics.New(metrics.Options{Tracing: traceOut != ""})
 	start := time.Now()

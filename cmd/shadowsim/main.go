@@ -31,10 +31,11 @@ import (
 
 func main() {
 	bench := flag.String("bench", "hmmer", "workload: "+strings.Join(trace.Names(), ", "))
-	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with a -pipe suffix")
+	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with -pipe / -cN suffixes, all with a -coreN suffix")
 	tp := flag.Bool("tp", false, "enable timing protection (constant-rate requests)")
 	pipeline := flag.Bool("pipeline", false, "pipelined request engine (same as a -pipe scheme suffix)")
 	channels := flag.Int("channels", 0, "multi-channel memory system with channel-interleaved layout (same as a -cN scheme suffix; 0 = legacy)")
+	cores := flag.Int("cores", 0, "cores issuing into the shared memory system (same as a -coreN scheme suffix; 0 = the CPU model's default)")
 	refs := flag.Int("refs", 60000, "memory references per core")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	treetop := flag.Int("treetop", 0, "cache the top N tree levels on-chip")
@@ -89,6 +90,12 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown cpu type %q", *cpuType))
 	}
+	if s.Cores > 0 {
+		spec.CPU.Cores = s.Cores
+	}
+	if *cores > 0 {
+		spec.CPU.Cores = *cores
+	}
 
 	var col *metrics.Collector
 	if *metricsOut != "" || *traceOut != "" {
@@ -106,8 +113,8 @@ func main() {
 	}
 
 	fmt.Printf("workload        %s (%d refs, seed %d)\n", p.Name, *refs, *seed)
-	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v channels=%d cpu=%s)\n",
-		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, *cpuType)
+	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v channels=%d cpu=%s cores=%d)\n",
+		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, *cpuType, spec.CPU.Cores)
 	fmt.Printf("total cycles    %d\n", m.Cycles)
 	fmt.Printf("  data access   %d (%.1f%%)\n", m.DataAccess, 100*float64(m.DataAccess)/float64(m.Cycles))
 	fmt.Printf("  DRI           %d (%.1f%%)\n", m.DRI, 100*float64(m.DRI)/float64(m.Cycles))
@@ -120,6 +127,11 @@ func main() {
 			o.Requests, o.StashHits, o.ShadowStashHits, m.OnChipHitRate)
 		fmt.Printf("ORAM accesses   %d (pm %d, dummies %d, evictions %d, shadow forwards %d)\n",
 			o.ORAMAccesses, o.PMAccesses, o.DummyAccesses, o.EvictionPhases, o.ShadowForwards)
+		if spec.CPU.Cores > 1 {
+			q := m.Queue
+			fmt.Printf("front end       %d issued, %d on-chip, %d coalesced, max depth %d\n",
+				q.Issued, q.OnChip, q.Coalesced, q.MaxDepth)
+		}
 		if ocfg.Pipeline {
 			fmt.Printf("pipeline        %d overlapped path reads, %d writeback cycles overlapped\n",
 				o.PipelinedReads, o.OverlapCycles)

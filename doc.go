@@ -4,8 +4,15 @@
 // timing model, trace-driven CPU models, and the paper's shadow-block
 // duplication engine (RD-Dup, HD-Dup, static and dynamic partitioning).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
-// root-level benchmarks (bench_test.go) regenerate each figure at reduced
-// scale; cmd/paperbench regenerates them at full scale.
+// The ORAM request path is one staged engine (internal/oram: posmap walk,
+// path read, forward, stash update, evict — one file per stage, with the
+// serial/pipelined/multi-channel variants bound as function values at
+// construction) behind an MSHR-style multi-requestor queue that lets N
+// trace-driven cores share a single controller.
+//
+// See README.md for a tour (the "Architecture" section diagrams the
+// engine stages and the front end), DESIGN.md for the system inventory
+// and the experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level benchmarks (bench_test.go) regenerate each
+// figure at reduced scale; cmd/paperbench regenerates them at full scale.
 package shadowblock

@@ -21,6 +21,25 @@ type Memory interface {
 	Request(now int64, blockAddr uint32, write bool) (forward, done int64)
 }
 
+// CoreMemory is the per-core issue interface: a memory system that wants
+// to know which core each LLC miss came from — the multi-requestor front
+// end (oram.Queue) implements it to coalesce cross-core misses and keep
+// per-core latency series. RunCores presents misses in deterministic
+// (cycle, core) order: the scheduler always steps the core with the
+// earliest readiness cycle, breaking ties toward the lowest core index,
+// and each step's requests (writebacks first, then the demand miss) reach
+// Issue in that program order.
+type CoreMemory interface {
+	Issue(now int64, core int, blockAddr uint32, write bool) (forward, done int64)
+}
+
+// memoryAdapter lifts a core-blind Memory to the per-core interface.
+type memoryAdapter struct{ m Memory }
+
+func (a memoryAdapter) Issue(now int64, _ int, addr uint32, write bool) (int64, int64) {
+	return a.m.Request(now, addr, write)
+}
+
 // Config describes the processor.
 type Config struct {
 	Cores int
@@ -84,6 +103,7 @@ type Result struct {
 }
 
 type coreState struct {
+	id          int
 	trace       []trace.Access
 	idx         int
 	ready       int64   // when the core can consider its next reference
@@ -93,10 +113,107 @@ type coreState struct {
 	miss        *metrics.Histogram // per-core miss latency; nil when metrics off
 }
 
-// Run plays one trace per core against mem and returns aggregate counters.
-// Cores interleave by readiness; the shared memory system serialises their
-// misses naturally.
+// step retires the core's next trace reference against the shared L2 and
+// the memory system, and returns the cycle by which its effects are fully
+// visible (used to extend the run's completion time).
+func (c *coreState) step(cfg Config, l2 *cache.Cache, mem CoreMemory, res *Result) int64 {
+	acc := c.trace[c.idx]
+	c.idx++
+	res.References++
+
+	now := c.ready + int64(acc.Gap)
+	if acc.Dep {
+		now = max64(now, c.lastForward)
+	}
+
+	lineAddr := uint64(acc.Block) * uint64(cfg.LineBytes)
+	if acc.NonTemporal {
+		// Non-temporal accesses probe the caches but never allocate.
+		if c.l1.Hit(lineAddr) {
+			res.L1Hits++
+			c.ready = now + cfg.L1Latency
+			return c.ready
+		}
+		now += cfg.L1Latency
+		if l2.Hit(lineAddr) {
+			res.L2Hits++
+			c.ready = now + cfg.L2Latency
+			return c.ready
+		}
+		now += cfg.L2Latency
+		res.LLCMisses++
+	} else {
+		hit, l1Victim, l1Dirty, l1Evicted := c.l1.Access(lineAddr, acc.Write)
+		if hit {
+			res.L1Hits++
+			c.ready = now + cfg.L1Latency
+			return c.ready
+		}
+		now += cfg.L1Latency
+		// Dirty L1 victims write back into the L2 behind the demand
+		// access; a dirty line they displace continues to memory. The
+		// core never stalls on this drain.
+		installVictim := func() {
+			if !l1Evicted || !l1Dirty {
+				return
+			}
+			if _, v2, d2, e2 := l2.Access(l1Victim, true); e2 && d2 {
+				res.Writebacks++
+				mem.Issue(now, c.id, uint32(v2/uint64(cfg.LineBytes)), true)
+			}
+		}
+		hit, victim, dirty, evicted := l2.Access(lineAddr, acc.Write)
+		if hit {
+			res.L2Hits++
+			installVictim()
+			c.ready = now + cfg.L2Latency
+			return c.ready
+		}
+		now += cfg.L2Latency
+		res.LLCMisses++
+		if evicted && dirty {
+			// Dirty LLC victims flow back to memory as write requests;
+			// the core does not stall on them but the memory system is
+			// busy.
+			res.Writebacks++
+			mem.Issue(now, c.id, uint32(victim/uint64(cfg.LineBytes)), true)
+		}
+		installVictim()
+	}
+
+	if cfg.OOO {
+		// Bounded MLP: wait for the oldest miss when the window is full.
+		if len(c.outstanding) >= cfg.MLP {
+			now = max64(now, c.outstanding[0])
+			c.outstanding = c.outstanding[1:]
+		}
+		forward, _ := mem.Issue(now, c.id, acc.Block, acc.Write)
+		c.miss.Record(forward - now)
+		c.outstanding = append(c.outstanding, forward)
+		c.lastForward = forward
+		c.ready = now // issue more work while the miss is in flight
+		return forward
+	}
+	forward, _ := mem.Issue(now, c.id, acc.Block, acc.Write)
+	c.miss.Record(forward - now)
+	c.lastForward = forward
+	c.ready = forward
+	return forward
+}
+
+// Run plays one trace per core against a core-blind memory system. It is
+// RunCores with every miss stripped of its core index — the single-core
+// entry point and the insecure baseline use it.
 func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
+	return RunCores(cfg, traces, memoryAdapter{mem})
+}
+
+// RunCores plays one trace per core against mem and returns aggregate
+// counters. Cores interleave by readiness — the scheduler steps whichever
+// core is ready earliest, ties to the lowest core index — so the memory
+// system sees a deterministic (cycle, core)-ordered request stream and
+// serialises or coalesces the misses itself.
+func RunCores(cfg Config, traces [][]trace.Access, mem CoreMemory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -113,7 +230,7 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		cores[i] = &coreState{trace: traces[i], l1: l1}
+		cores[i] = &coreState{id: i, trace: traces[i], l1: l1}
 		if cfg.Metrics != nil {
 			cores[i].miss = metrics.NewHistogram()
 		}
@@ -122,7 +239,8 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 	var res Result
 	var last int64
 	for {
-		// Pick the ready core with work remaining.
+		// Pick the ready core with work remaining; strict < keeps the
+		// lowest-index core on ties.
 		var c *coreState
 		for _, cs := range cores {
 			if cs.idx >= len(cs.trace) {
@@ -135,93 +253,7 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 		if c == nil {
 			break
 		}
-		acc := c.trace[c.idx]
-		c.idx++
-		res.References++
-
-		now := c.ready + int64(acc.Gap)
-		if acc.Dep {
-			now = max64(now, c.lastForward)
-		}
-
-		lineAddr := uint64(acc.Block) * uint64(cfg.LineBytes)
-		if acc.NonTemporal {
-			// Non-temporal accesses probe the caches but never allocate.
-			if c.l1.Hit(lineAddr) {
-				res.L1Hits++
-				c.ready = now + cfg.L1Latency
-				last = max64(last, c.ready)
-				continue
-			}
-			now += cfg.L1Latency
-			if l2.Hit(lineAddr) {
-				res.L2Hits++
-				c.ready = now + cfg.L2Latency
-				last = max64(last, c.ready)
-				continue
-			}
-			now += cfg.L2Latency
-			res.LLCMisses++
-		} else {
-			hit, l1Victim, l1Dirty, l1Evicted := c.l1.Access(lineAddr, acc.Write)
-			if hit {
-				res.L1Hits++
-				c.ready = now + cfg.L1Latency
-				last = max64(last, c.ready)
-				continue
-			}
-			now += cfg.L1Latency
-			// Dirty L1 victims write back into the L2 behind the demand
-			// access; a dirty line they displace continues to memory. The
-			// core never stalls on this drain.
-			installVictim := func() {
-				if !l1Evicted || !l1Dirty {
-					return
-				}
-				if _, v2, d2, e2 := l2.Access(l1Victim, true); e2 && d2 {
-					res.Writebacks++
-					mem.Request(now, uint32(v2/uint64(cfg.LineBytes)), true)
-				}
-			}
-			hit, victim, dirty, evicted := l2.Access(lineAddr, acc.Write)
-			if hit {
-				res.L2Hits++
-				installVictim()
-				c.ready = now + cfg.L2Latency
-				last = max64(last, c.ready)
-				continue
-			}
-			now += cfg.L2Latency
-			res.LLCMisses++
-			if evicted && dirty {
-				// Dirty LLC victims flow back to memory as write requests;
-				// the core does not stall on them but the memory system is
-				// busy.
-				res.Writebacks++
-				mem.Request(now, uint32(victim/uint64(cfg.LineBytes)), true)
-			}
-			installVictim()
-		}
-
-		if cfg.OOO {
-			// Bounded MLP: wait for the oldest miss when the window is full.
-			if len(c.outstanding) >= cfg.MLP {
-				now = max64(now, c.outstanding[0])
-				c.outstanding = c.outstanding[1:]
-			}
-			forward, _ := mem.Request(now, acc.Block, acc.Write)
-			c.miss.Record(forward - now)
-			c.outstanding = append(c.outstanding, forward)
-			c.lastForward = forward
-			c.ready = now // issue more work while the miss is in flight
-			last = max64(last, forward)
-		} else {
-			forward, _ := mem.Request(now, acc.Block, acc.Write)
-			c.miss.Record(forward - now)
-			c.lastForward = forward
-			c.ready = forward
-			last = max64(last, forward)
-		}
+		last = max64(last, c.step(cfg, l2, mem, &res))
 	}
 	// Drain outstanding misses.
 	for _, cs := range cores {

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseSchemeRoundTrip covers every scheme vocabulary base crossed with
+// every suffix combination in canonical order (base[-pipe][-cN][-coreN])
+// and checks each parse lands on exactly the expected Scheme with the full
+// name preserved. The insecure baseline rejects the engine suffixes but
+// accepts -coreN: cores are a processor property, not an ORAM one.
+func TestParseSchemeRoundTrip(t *testing.T) {
+	bases := []struct {
+		name     string
+		insecure bool
+		dynamic  bool
+	}{
+		{"insecure", true, false},
+		{"tiny", false, false},
+		{"rd", false, false},
+		{"hd", false, false},
+		{"static-7", false, false},
+		{"dynamic-3", false, true},
+	}
+	pipes := []bool{false, true}
+	channelCounts := []int{0, 1, 4}
+	coreCounts := []int{0, 2, 4}
+
+	for _, b := range bases {
+		for _, pipe := range pipes {
+			for _, ch := range channelCounts {
+				for _, cores := range coreCounts {
+					name := b.name
+					if pipe {
+						name += "-pipe"
+					}
+					if ch > 0 {
+						name += fmt.Sprintf("-c%d", ch)
+					}
+					if cores > 0 {
+						name += fmt.Sprintf("-core%d", cores)
+					}
+					t.Run(name, func(t *testing.T) {
+						s, err := ParseScheme(name)
+						if b.insecure && (pipe || ch > 0) {
+							if err == nil {
+								t.Fatalf("insecure with an engine suffix accepted: %+v", s)
+							}
+							return
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+						if s.Name != name {
+							t.Errorf("Name = %q, want the full input %q", s.Name, name)
+						}
+						if s.Insecure != b.insecure || s.Pipeline != pipe || s.Channels != ch || s.Cores != cores {
+							t.Errorf("parsed %+v, want insecure=%v pipeline=%v channels=%d cores=%d",
+								s, b.insecure, pipe, ch, cores)
+						}
+						if b.dynamic && (s.Policy == nil || s.Policy.HotEntries == 0) {
+							t.Errorf("dynamic base lost its policy: %+v", s.Policy)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParseSchemeRejects pins the malformed inputs the fuzz target has no
+// oracle for.
+func TestParseSchemeRejects(t *testing.T) {
+	for _, name := range []string{
+		"", "bogus", "tiny-c0", "tiny-core0", "tiny-c-4",
+		"insecure-pipe", "insecure-c4", "insecure-pipe-core4",
+		"static-", "dynamic-", "static-x", "-pipe", "-c4", "-core4",
+	} {
+		if s, err := ParseScheme(name); err == nil {
+			t.Errorf("%q accepted: %+v", name, s)
+		}
+	}
+}
+
+// FuzzParseScheme asserts ParseScheme's contract over arbitrary input: it
+// never panics, and any accepted name is stable — the parse preserves the
+// name, and re-parsing it reproduces the identical scheme (so a Scheme's
+// Name is always a valid way to recreate it).
+func FuzzParseScheme(f *testing.F) {
+	for _, seed := range []string{
+		"insecure", "tiny", "rd", "hd", "static-7", "dynamic-3",
+		"tiny-pipe", "dynamic-3-pipe-c4-core4", "insecure-core2",
+		"tiny-c16", "static-1-core64", "bogus", "tiny-c-1", "-pipe",
+		"tiny-core", "tiny-corea", "dynamic--3", "tiny-pipe-c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := ParseScheme(name)
+		if err != nil {
+			return
+		}
+		if s.Name != name {
+			t.Fatalf("accepted %q but set Name = %q", name, s.Name)
+		}
+		again, err := ParseScheme(s.Name)
+		if err != nil {
+			t.Fatalf("accepted %q once, rejected on re-parse: %v", name, err)
+		}
+		// Policy is a pointer; compare it structurally, the rest directly.
+		if again.Name != s.Name || again.Insecure != s.Insecure || again.TP != s.TP ||
+			again.Treetop != s.Treetop || again.XOR != s.XOR ||
+			again.Pipeline != s.Pipeline || again.Channels != s.Channels || again.Cores != s.Cores {
+			t.Fatalf("re-parse diverged: %+v vs %+v", again, s)
+		}
+		if (again.Policy == nil) != (s.Policy == nil) {
+			t.Fatalf("re-parse diverged on policy: %+v vs %+v", again.Policy, s.Policy)
+		}
+		if s.Policy != nil && *again.Policy != *s.Policy {
+			t.Fatalf("re-parse diverged on policy: %+v vs %+v", *again.Policy, *s.Policy)
+		}
+		if s.Channels < 0 || s.Cores < 0 {
+			t.Fatalf("accepted negative counts: %+v", s)
+		}
+		if s.Insecure && (s.Pipeline || s.Channels > 0) {
+			t.Fatalf("insecure scheme with an ORAM engine option: %+v", s)
+		}
+		_ = strings.TrimSpace(name)
+	})
+}

@@ -48,6 +48,7 @@ type Scheme struct {
 	XOR      bool
 	Pipeline bool // pipelined request engine (writeback/read overlap)
 	Channels int  // multi-channel memory system; 0 = legacy layout
+	Cores    int  // issuing cores sharing the front end; 0 = the CPU config's default
 }
 
 // The named schemes of the evaluation.
@@ -63,11 +64,28 @@ func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
 // ParseScheme maps a scheme name — the cmd/shadowsim vocabulary: insecure,
 // tiny, rd, hd, static-N, dynamic-N — to its Scheme. Any ORAM scheme name
 // may carry a "-pipe" suffix (tiny-pipe, dynamic-3-pipe, ...) selecting
-// the pipelined request engine, and/or an outermost "-cN" suffix
-// (tiny-c4, dynamic-3-pipe-c2, ...) selecting the N-channel memory system
-// with the channel-interleaved layout; the insecure baseline has no ORAM
-// engine to pipeline or interleave, so those suffixes are rejected on it.
+// the pipelined request engine, and/or a "-cN" suffix (tiny-c4,
+// dynamic-3-pipe-c2, ...) selecting the N-channel memory system with the
+// channel-interleaved layout; the insecure baseline has no ORAM engine to
+// pipeline or interleave, so those suffixes are rejected on it. Any scheme
+// — the insecure baseline included, since cores are a processor property —
+// may carry an outermost "-coreN" suffix (dynamic-3-pipe-c4-core4, ...)
+// setting how many cores issue into the shared memory system.
 func ParseScheme(name string) (Scheme, error) {
+	if i := strings.LastIndex(name, "-core"); i > 0 {
+		if n, err := strconv.Atoi(name[i+5:]); err == nil {
+			if n < 1 {
+				return Scheme{}, fmt.Errorf("experiments: scheme %q: core count must be >= 1", name)
+			}
+			s, err := ParseScheme(name[:i])
+			if err != nil {
+				return Scheme{}, err
+			}
+			s.Name = name
+			s.Cores = n
+			return s, nil
+		}
+	}
 	if i := strings.LastIndex(name, "-c"); i > 0 {
 		if n, err := strconv.Atoi(name[i+2:]); err == nil {
 			if n < 1 {
@@ -126,6 +144,9 @@ func ParseScheme(name string) (Scheme, error) {
 
 // spec assembles the sim.Spec of one (workload, scheme) cell.
 func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
+	if s.Cores > 0 {
+		cpuCfg.Cores = s.Cores
+	}
 	ocfg := oram.Default()
 	ocfg.TimingProtection = s.TP
 	ocfg.TreetopLevels = s.Treetop

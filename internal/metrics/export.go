@@ -2,12 +2,21 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 )
 
 // Schema identifies the metrics JSON layout. Bump on incompatible change.
-const Schema = "shadowblock-metrics/v1"
+//
+// v2 reports carry the multi-requestor front end's observability: per-core
+// request-latency series (req_latency.coreN), the queue_depth series, and
+// the queue.* counters. Every v1 field survives unchanged, so DecodeReport
+// still reads v1 files — the new series and counters are simply absent.
+const Schema = "shadowblock-metrics/v2"
+
+// SchemaV1 is the pre-front-end layout, still accepted by DecodeReport.
+const SchemaV1 = "shadowblock-metrics/v1"
 
 // LatencyReport is one histogram in the JSON export: the digest plus the
 // non-empty buckets (le = inclusive upper bound of each bucket).
@@ -76,6 +85,23 @@ func (c *Collector) Report(cycles int64, labels map[string]string) *Report {
 		}
 	}
 	return r
+}
+
+// DecodeReport reads a metrics JSON report, accepting the current schema
+// and every older one it remains compatible with (v1: a strict subset of
+// v2, so nothing needs rewriting). Unknown schemas are an error — better
+// than silently misreading a future layout.
+func DecodeReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("metrics: decode report: %w", err)
+	}
+	switch rep.Schema {
+	case Schema, SchemaV1:
+		return &rep, nil
+	default:
+		return nil, fmt.Errorf("metrics: unknown report schema %q (want %q or %q)", rep.Schema, Schema, SchemaV1)
+	}
 }
 
 // WriteJSON writes the report, indented for humans, to w.

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A report written by the v1 tooling (pre multi-requestor front end), with
+// every section populated the way the old exporter laid it out.
+const v1Report = `{
+  "schema": "shadowblock-metrics/v1",
+  "labels": {"bench": "mcf", "scheme": "dynamic-3", "seed": "7"},
+  "cycles": 987654,
+  "latency": {
+    "request_forward": {
+      "count": 100, "mean": 512.5, "p50": 498, "p90": 901, "p99": 1203, "max": 1450,
+      "buckets": [{"le": 512, "count": 60}, {"le": 1024, "count": 35}, {"le": 2048, "count": 5}]
+    }
+  },
+  "series": [
+    {
+      "name": "stash_occupancy",
+      "window_cycles": 10000,
+      "summary": {"windows": 2, "mean": 11.5, "stddev": 10.5, "min": 1, "max": 24, "p50": 11},
+      "points": [
+        {"start": 0, "mean": 1, "min": 1, "max": 1, "count": 5},
+        {"start": 10000, "mean": 22, "min": 20, "max": 24, "count": 3}
+      ]
+    }
+  ],
+  "counters": {"plb_hits": 42}
+}`
+
+func TestDecodeReportAcceptsV1(t *testing.T) {
+	r, err := DecodeReport(strings.NewReader(v1Report))
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if r.Schema != SchemaV1 {
+		t.Fatalf("schema = %q, want %q", r.Schema, SchemaV1)
+	}
+	if r.Cycles != 987654 {
+		t.Fatalf("cycles = %d, want 987654", r.Cycles)
+	}
+	lat, ok := r.Latency["request_forward"]
+	if !ok {
+		t.Fatal("request_forward latency section missing")
+	}
+	if lat.Count != 100 || lat.P99 != 1203 || len(lat.Buckets) != 3 {
+		t.Fatalf("latency digest mangled: %+v", lat)
+	}
+	if len(r.Series) != 1 || r.Series[0].Name != "stash_occupancy" || len(r.Series[0].Points) != 2 {
+		t.Fatalf("series mangled: %+v", r.Series)
+	}
+	if r.Counters["plb_hits"] != 42 {
+		t.Fatalf("counters mangled: %+v", r.Counters)
+	}
+	if r.Labels["scheme"] != "dynamic-3" {
+		t.Fatalf("labels mangled: %+v", r.Labels)
+	}
+}
+
+func TestDecodeReportRoundTripsV2(t *testing.T) {
+	c := New(Options{})
+	c.ReqForward.Record(100)
+	c.Observe("queue_depth", 50, 3)
+	c.Count("queue.issued", 7)
+	rep := c.Report(5000, map[string]string{"bench": "x"})
+	if rep.Schema != Schema {
+		t.Fatalf("fresh report schema = %q, want %q", rep.Schema, Schema)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(&buf)
+	if err != nil {
+		t.Fatalf("v2 round trip rejected: %v", err)
+	}
+	if back.Counters["queue.issued"] != 7 {
+		t.Fatalf("queue.issued = %d, want 7", back.Counters["queue.issued"])
+	}
+	if len(back.Series) != 1 || back.Series[0].Name != "queue_depth" {
+		t.Fatalf("series mangled: %+v", back.Series)
+	}
+}
+
+func TestDecodeReportRejectsUnknownSchema(t *testing.T) {
+	if _, err := DecodeReport(strings.NewReader(`{"schema": "shadowblock-metrics/v99"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}

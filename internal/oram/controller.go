@@ -82,7 +82,11 @@ type Event struct {
 }
 
 // Controller is one ORAM instance: tree image, stash, position map, PLB,
-// DRAM timing model and (optionally) a duplication policy.
+// DRAM timing model and (optionally) a duplication policy. The request
+// path itself lives in the engine stage files (engine.go, posmap.go,
+// pathread.go, forward.go, stashupdate.go, evict.go): serial, pipelined
+// and multi-channel operation are bindings of the same stage sequence,
+// fixed once at construction by bindEngine.
 type Controller struct {
 	cfg    Config
 	geo    tree.Geometry
@@ -94,6 +98,17 @@ type Controller struct {
 	plb    *cache.Cache
 	policy DupPolicy
 	engine *crypt.Engine
+
+	// Engine variation points, bound once by bindEngine from the
+	// configuration. The request hot path calls through these and never
+	// branches on cfg: serial vs pipelined issue, flat vs channel
+	// dispatch, and serial vs pipelined eviction retirement are all
+	// decided here at construction time.
+	readIssue     func(start int64) int64
+	dispatchRead  func(issue int64) int64
+	dispatchWrite func(start int64) int64
+	evictRetire   func(leaf uint32, readEnd, writeEnd int64) int64
+	readOp        dram.Op
 
 	// plbBlocks holds the posmap blocks whose data lives in the PLB's
 	// SRAM: they are neither in the tree nor in the stash while resident.
@@ -221,6 +236,7 @@ func New(cfg Config, policy DupPolicy) (*Controller, error) {
 		}
 		c.chanDone = make([]int64, geo.PathLen())
 	}
+	c.bindEngine()
 	c.pos = posmap.NewStore(hier, geo.NumLeaves(), rng.NewXoshiro(cfg.Seed*0xc2b2ae35+3))
 	if !cfg.DirectPosMap {
 		entries := cfg.PLBBytes / cfg.BlockBytes
@@ -302,6 +318,28 @@ func (c *Controller) sealZero() []byte {
 	return c.engine.Encrypt(c.zeroPlain())
 }
 
+func (c *Controller) seal(payload []byte) []byte {
+	if c.engine == nil {
+		return nil
+	}
+	if payload == nil {
+		payload = c.zeroPlain()
+	}
+	return c.engine.Encrypt(payload)
+}
+
+func (c *Controller) openPayload(bucket, s int) []byte {
+	ct := c.store.payload(bucket, s)
+	if c.engine == nil || ct == nil {
+		return nil
+	}
+	pt, err := c.engine.Decrypt(ct)
+	if err != nil {
+		panic(fmt.Sprintf("oram: corrupt ciphertext at bucket %d slot %d: %v", bucket, s, err))
+	}
+	return pt
+}
+
 // SetObserver registers a callback receiving every externally visible
 // operation (path reads and writes).
 func (c *Controller) SetObserver(fn func(Event)) { c.observer = fn }
@@ -350,100 +388,45 @@ func (c *Controller) BusyUntil() int64 { return c.busyUntil }
 // including a still-draining pipelined writeback — is finished.
 func (c *Controller) completionCycle() int64 { return max64(c.busyUntil, c.wbDrain) }
 
-// Request serves one LLC miss presented at cycle now. In timing-protection
-// mode, dummy requests are first issued for every unclaimed slot before
-// now, then the request takes the next slot.
-func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
-	if int(addr) >= c.pos.Hierarchy().NumData() {
-		panic(fmt.Sprintf("oram: address %d outside the data space", addr))
-	}
-	c.stats.Requests++
-	c.policy.NoteLLCMiss(addr)
+// Drain returns the cycle at which all work completes.
+func (c *Controller) Drain() int64 { return c.completionCycle() }
 
-	// On-chip CAM lookup is effectively instant.
-	if e, ok := c.st.Lookup(addr); ok {
-		if e.Meta.Kind == block.Real || (!write && !c.cfg.DisableShadowHits) {
-			if e.Meta.Kind == block.Real {
-				c.stats.StashHits++
-				if write && c.cfg.Functional {
-					c.st.Update(addr, c.writeValue(addr))
-				}
-			} else {
-				c.stats.ShadowStashHits++
-			}
-			c.stats.OnChipHits++
-			out := Outcome{Start: now, Forward: now + 1, Done: now + 1, StashHit: true, OnChip: true}
-			if c.mc != nil {
-				c.observeRequest(now, addr, write, out, e.Meta.Kind == block.Shadow, 0, 0, 0)
-			}
-			return out
-		}
-		// A write that only hits a shadow must still collect and supersede
-		// the tree copy: fall through to a full request.
+// WriteBlock stores data (padded or truncated to the block size) at addr
+// through a full ORAM write. Functional mode only.
+func (c *Controller) WriteBlock(now int64, addr uint32, data []byte) Outcome {
+	if !c.cfg.Functional {
+		panic("oram: WriteBlock requires functional mode")
 	}
-
-	// Backfilled dummies must reach the policy before this real request.
-	start := c.alignForReal(now)
-	c.policy.NoteORAMRequest(false)
-
-	// Position-map walk (FreeCursive): find the deepest translation source
-	// already on-chip, then fetch the missing posmap blocks top-down.
-	chain := c.pos.Hierarchy().Chain(addr, c.chainBuf)
-	c.chainBuf = chain
-	fetchFrom := len(chain) // default: only the on-chip top level knows a label
-	for i := 1; i < len(chain); i++ {
-		if c.plb != nil && c.plb.Hit(uint64(chain[i])) {
-			fetchFrom = i
-			break
-		}
-		if e, ok := c.st.Lookup(chain[i]); ok && e.Meta.Kind == block.Real {
-			fetchFrom = i
-			break
-		}
-	}
-	cur := start
-	pmStart := cur
-	evictsBefore := c.evictCount
-	for i := fetchFrom - 1; i >= 1; i-- {
-		_, end, _, _ := c.oramAccess(cur, chain[i], false, true)
-		c.stats.PMAccesses++
-		cur = end
-	}
-	pmEnd := cur
-
-	forward, _, onChip, viaShadow := c.oramAccess(cur, addr, write, false)
-	if viaShadow {
-		c.stats.ShadowForwards++
-	}
-	if onChip {
-		c.stats.OnChipHits++
-	}
-
-	// Done is the completion of the work this request triggered: the read
-	// datapath, plus — only when one of its accesses tripped an eviction —
-	// the writeback still draining behind it. A pipelined request that
-	// merely overlapped someone else's writeback is not charged for it.
-	done := c.busyUntil
-	if c.evictCount != evictsBefore {
-		done = c.completionCycle()
-	}
-	out := Outcome{Start: start, Forward: forward, Done: done, OnChip: onChip}
-	// Eq. 1 charges the request's datapath window to data-access time. The
-	// serial engine's busyUntil includes the writeback, so this matches
-	// Done-Start there; the pipelined engine accounts a draining writeback
-	// as background (DRI) work, keeping the decomposition additive even
-	// when the next request's window overlaps the drain.
-	c.stats.DataAccessCycles += c.busyUntil - out.Start
-	c.lastDone = out.Done
-	if c.mc != nil {
-		c.observeRequest(now, addr, write, out, viaShadow, pmStart, pmEnd, fetchFrom-1)
-	}
-
-	// Track the typical request duration for the virtual-dummy signal used
-	// by dynamic partitioning without timing protection (DESIGN.md §3).
-	dur := out.Done - out.Start
-	c.emaAccess += (dur - c.emaAccess) / 8
+	buf := make([]byte, c.cfg.BlockBytes)
+	copy(buf, data)
+	c.pendingWrite = buf
+	out := c.Request(now, addr, true)
+	c.pendingWrite = nil
 	return out
+}
+
+// ReadBlock fetches the current contents of addr through a full ORAM read.
+// Functional mode only.
+func (c *Controller) ReadBlock(now int64, addr uint32) ([]byte, Outcome) {
+	if !c.cfg.Functional {
+		panic("oram: ReadBlock requires functional mode")
+	}
+	c.lastRead = nil
+	out := c.Request(now, addr, false)
+	src := c.lastRead
+	if out.StashHit {
+		e, ok := c.st.Lookup(addr)
+		if !ok {
+			panic(fmt.Sprintf("oram: block %d absent after stash hit", addr))
+		}
+		src = e.Data
+	}
+	if src == nil {
+		panic(fmt.Sprintf("oram: block %d produced no payload", addr))
+	}
+	data := make([]byte, len(src))
+	copy(data, src)
+	return data, out
 }
 
 // observeRequest feeds the observability layer after one LLC request:
@@ -509,548 +492,6 @@ const (
 	tidBackground = 1
 	tidChannel0   = 2
 )
-
-// writeValue produces the payload stored by a write in functional mode:
-// the data supplied through WriteBlock when present, otherwise a marker
-// pattern (plain timing writes carry no payload of interest).
-func (c *Controller) writeValue(addr uint32) []byte {
-	if c.pendingWrite != nil {
-		return c.pendingWrite
-	}
-	v := make([]byte, c.cfg.BlockBytes)
-	v[0] = byte(addr)
-	return v
-}
-
-// WriteBlock stores data (padded or truncated to the block size) at addr
-// through a full ORAM write. Functional mode only.
-func (c *Controller) WriteBlock(now int64, addr uint32, data []byte) Outcome {
-	if !c.cfg.Functional {
-		panic("oram: WriteBlock requires functional mode")
-	}
-	buf := make([]byte, c.cfg.BlockBytes)
-	copy(buf, data)
-	c.pendingWrite = buf
-	out := c.Request(now, addr, true)
-	c.pendingWrite = nil
-	return out
-}
-
-// ReadBlock fetches the current contents of addr through a full ORAM read.
-// Functional mode only.
-func (c *Controller) ReadBlock(now int64, addr uint32) ([]byte, Outcome) {
-	if !c.cfg.Functional {
-		panic("oram: ReadBlock requires functional mode")
-	}
-	c.lastRead = nil
-	out := c.Request(now, addr, false)
-	src := c.lastRead
-	if out.StashHit {
-		e, ok := c.st.Lookup(addr)
-		if !ok {
-			panic(fmt.Sprintf("oram: block %d absent after stash hit", addr))
-		}
-		src = e.Data
-	}
-	if src == nil {
-		panic(fmt.Sprintf("oram: block %d produced no payload", addr))
-	}
-	data := make([]byte, len(src))
-	copy(data, src)
-	return data, out
-}
-
-// alignForReal issues any due dummy requests and returns the cycle at which
-// a real request presented at now may start.
-func (c *Controller) alignForReal(now int64) int64 {
-	if !c.cfg.TimingProtection {
-		start := max64(now, c.busyUntil)
-		// Virtual dummy signal: a gap long enough to have fitted another
-		// request means the DRI was long (RD-Dup preferred).
-		if c.stats.ORAMAccesses > 0 && start-c.lastDone > c.emaAccess {
-			c.policy.NoteORAMRequest(true)
-		}
-		return start
-	}
-	c.AdvanceTo(now)
-	return c.nextSlot(max64(now, c.busyUntil))
-}
-
-// AdvanceTo issues timing-protection dummy requests for every slot that
-// falls strictly before now while the controller is idle. Without timing
-// protection it is a no-op.
-func (c *Controller) AdvanceTo(now int64) {
-	if !c.cfg.TimingProtection {
-		return
-	}
-	for {
-		s := c.nextSlot(c.busyUntil)
-		if s >= now {
-			return
-		}
-		c.issueDummy(s)
-	}
-}
-
-func (c *Controller) nextSlot(t int64) int64 {
-	r := c.cfg.RequestRate
-	return (t + r - 1) / r * r
-}
-
-func (c *Controller) issueDummy(start int64) {
-	leaf := uint32(c.dummyRNG.Uint64n(uint64(c.geo.NumLeaves())))
-	c.stats.DummyAccesses++
-	c.policy.NoteORAMRequest(true)
-	_, end, _ := c.pathRead(start, leaf, NoAddr, false)
-	if c.mc != nil && c.mc.Trace != nil {
-		c.mc.Trace.Span("dummy", "oram", tidBackground, start, end, map[string]any{"leaf": leaf})
-	}
-	c.accessCount++
-	end = c.maybeEvict(end)
-	c.busyUntil = end
-}
-
-// Drain returns the cycle at which all work completes.
-func (c *Controller) Drain() int64 { return c.completionCycle() }
-
-// oramAccess performs one read-only ORAM access for addr through the
-// engine's explicit stages — path read (which forwards the intended data
-// at its earliest copy's arrival), stash update, eviction writeback when
-// due. It returns the forward cycle of addr's data, the cycle the read
-// datapath frees, whether the forward came from on-chip state, and whether
-// a tree shadow provided it.
-func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool) (forward, end int64, onChip, viaShadow bool) {
-	start = max64(start, c.busyUntil)
-	label := c.pos.Label(addr)
-
-	// Stage: path read + forward.
-	var res readResult
-	forward, end, res = c.pathRead(start, label, addr, false)
-	if c.mc != nil && c.mc.Trace != nil {
-		c.mc.Trace.Span("path.read", "oram", tidRequest, start, end,
-			map[string]any{"req": c.stats.Requests, "addr": addr, "leaf": label, "fwd_level": res.fwdLevel})
-	}
-	if res.realLevel >= 0 {
-		c.stats.FwdSamples++
-		c.stats.SumFwdLevel += uint64(res.fwdLevel)
-		c.stats.SumRealLevel += uint64(res.realLevel)
-		c.stats.SumFwdCycles += uint64(forward - start)
-		c.stats.SumEndCycles += uint64(end - start)
-	}
-
-	// Stage: stash update (on-chip, overlapped with the read's tail).
-	c.stashUpdate(addr, write, parkInPLB)
-
-	// Stage: eviction writeback, every A accesses.
-	c.accessCount++
-	end = c.maybeEvict(end)
-	c.busyUntil = end
-	return forward, end, res.onChip, res.viaShadow
-}
-
-// stashUpdate is the stage between a path read and the eviction decision:
-// remap the intended block to a fresh random path (Step-3), install a
-// write's payload, capture the functional read payload, and park posmap
-// fetches in the PLB.
-func (c *Controller) stashUpdate(addr uint32, write, parkInPLB bool) {
-	newLabel := uint32(c.labelRNG.Uint64n(uint64(c.geo.NumLeaves())))
-	c.pos.SetLabel(addr, newLabel)
-	if _, ok := c.st.Lookup(addr); !ok {
-		// The invariant guarantees the block was on the path or in the
-		// stash; reaching here means an earlier overflow dropped it.
-		c.stats.Anomalies++
-		c.st.Insert(stash.Entry{
-			Meta: block.Meta{Kind: block.Real, Addr: addr, Label: newLabel},
-			Data: c.zeroPlain(),
-		})
-	}
-	c.st.Relabel(addr, newLabel)
-	if write && c.cfg.Functional {
-		c.st.Update(addr, c.writeValue(addr))
-	}
-	if c.cfg.Functional {
-		// Capture the payload now: the eviction phase below may push the
-		// block straight back into the tree.
-		if e, ok := c.st.Lookup(addr); ok {
-			c.lastRead = e.Data
-		}
-	}
-	if parkInPLB {
-		// Posmap fetches move to the PLB's storage before the eviction
-		// phase can sweep them back into the tree.
-		c.fillPLB(addr)
-	}
-}
-
-// maybeEvict runs the read-write phase after every A read-only accesses
-// (Step-4..6): a path read of the next reverse-lexicographic path followed
-// by a path write refilling it from the stash. The serial engine returns
-// the writeback's completion; the pipelined engine returns the end of the
-// eviction's path read — the datapath frees once the refill decision is
-// made — and leaves the writeback draining in wbDrain, where the next path
-// read's bank arbitration sees it.
-func (c *Controller) maybeEvict(start int64) int64 {
-	if c.accessCount%uint64(c.cfg.A) != 0 {
-		return start
-	}
-	leaf := c.geo.ReverseLexLeaf(c.evictCount)
-	c.evictCount++
-	c.stats.EvictionPhases++
-	_, readEnd, _ := c.pathRead(start, leaf, NoAddr, true)
-	end := c.pathWrite(readEnd, leaf)
-	if c.mc != nil && c.mc.Trace != nil {
-		c.mc.Trace.Span("evict", "oram", tidBackground, start, end, map[string]any{"leaf": leaf})
-	}
-	if c.cfg.Pipeline {
-		c.wbDrain = end
-		if c.mc != nil && c.mc.Trace != nil {
-			c.mc.Trace.Span("evict.writeback", "oram", tidBackground, readEnd, end,
-				map[string]any{"leaf": leaf})
-		}
-		return readEnd
-	}
-	return end
-}
-
-// fillPLB moves a fetched posmap block from the stash into the PLB (both
-// on-chip, so this is free). A displaced PLB entry re-enters the stash and
-// flows back to the tree with the ordinary eviction stream — FreeCursive's
-// PLB eviction costs no dedicated ORAM access.
-func (c *Controller) fillPLB(addr uint32) {
-	if c.plb == nil {
-		return
-	}
-	hit, victim, _, evicted := c.plb.Access(uint64(addr), true)
-	if hit {
-		return
-	}
-	// The block just arrived in the stash through its fetch; park it in the
-	// PLB's storage instead.
-	if e, ok := c.st.Take(addr); ok {
-		c.plbBlocks[addr] = e.Meta
-	} else {
-		c.stats.Anomalies++
-		c.plb.Invalidate(uint64(addr))
-		return
-	}
-	if evicted {
-		v := uint32(victim)
-		m, ok := c.plbBlocks[v]
-		if !ok {
-			c.stats.Anomalies++
-			return
-		}
-		delete(c.plbBlocks, v)
-		c.stats.PLBWritebacks++
-		if c.st.Insert(stash.Entry{Meta: m, Data: c.zeroPlain()}) == stash.Overflow {
-			c.stats.StashOverflows++
-		}
-	}
-}
-
-type readResult struct {
-	onChip    bool
-	viaShadow bool
-	fwdLevel  int
-	realLevel int
-}
-
-// pathRead implements Algorithm 2: read every slot of path-leaf (treetop
-// levels from on-chip storage, the rest through the DRAM model) and forward
-// the intended block at the arrival of its earliest copy.
-//
-// Tiny ORAM's read-only accesses (collectAll=false) move only the intended
-// block into the stash — its stale shadows are discarded in place — while
-// every other block stays valid in the tree; the read-write phase
-// (collectAll=true) moves everything into the stash ahead of the path
-// write. This is the RAW Path ORAM decoupling that lets one eviction per A
-// accesses keep the stash bounded.
-func (c *Controller) pathRead(start int64, leaf, intended uint32, collectAll bool) (forward, end int64, res readResult) {
-	if c.observer != nil {
-		c.observer(Event{Kind: EvPathRead, Leaf: leaf, Start: start})
-	}
-	c.stats.ORAMAccesses++
-	res.realLevel = -1
-	path := c.geo.Path(leaf, c.pathBuf)
-	z := c.geo.Z
-	top := c.cfg.TreetopLevels
-
-	// Arrival times: on-chip levels are immediate; off-chip slots come from
-	// the DRAM batch, issued root to leaf.
-	c.addrBuf = c.addrBuf[:0]
-	for lv, bucket := range path {
-		for s := 0; s < z; s++ {
-			if lv >= top {
-				c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(bucket, s))
-			}
-		}
-	}
-	end = start + 1
-	if len(c.addrBuf) > 0 {
-		issue := start
-		if c.cfg.Pipeline {
-			// Overlap arbitration: the batch enters the memory system as
-			// soon as the first bank it needs can accept a command. While a
-			// writeback is still draining on every involved bank this waits
-			// exactly as the banks require; once any bank frees the read
-			// overlaps the remaining drain.
-			if free := c.mem.EarliestBatchStart(c.addrBuf); free > issue {
-				issue = free
-			}
-			if ov := c.wbDrain - issue; ov > 0 {
-				c.stats.PipelinedReads++
-				c.stats.OverlapCycles += uint64(ov)
-				c.mc.Observe("wb_overlap", issue, float64(ov))
-			} else if c.mc != nil {
-				c.mc.Observe("wb_overlap", issue, 0)
-			}
-		}
-		op := dram.OpRead
-		if c.cfg.XOR {
-			op = dram.OpReadOffBus
-		}
-		if c.cfg.Channels > 0 {
-			end = c.channelBatch(issue, op, c.chanSpanRead)
-		} else {
-			end = c.mem.ReserveBatch(issue, op, c.addrBuf, c.doneBuf[:len(c.addrBuf)])
-		}
-	}
-	di := 0
-	for lv := range path {
-		for s := 0; s < z; s++ {
-			i := lv*z + s
-			if lv < top {
-				c.arrivalBuf[i] = start + 1
-			} else {
-				c.arrivalBuf[i] = c.doneBuf[di] + c.cfg.AESLatency
-				di++
-			}
-		}
-	}
-	end += c.cfg.AESLatency
-
-	for lv, bucket := range path {
-		for s := 0; s < z; s++ {
-			m := c.store.get(bucket, s)
-			if m.IsDummy() {
-				continue
-			}
-			isIntended := intended != NoAddr && m.Addr == intended
-			if !collectAll && !isIntended {
-				continue // stays valid in the tree
-			}
-			arrival := c.arrivalBuf[lv*z+s]
-			payload := c.openPayload(bucket, s)
-			c.store.clear(bucket, s)
-			if m.Kind == block.Real || collectAll {
-				// Intended shadows on a read-only access are stale once the
-				// block is remapped; they are discarded in place. Everything
-				// read by the read-write phase goes to the stash.
-				e := stash.Entry{Meta: m, Data: payload}
-				if m.Kind == block.Shadow {
-					e.Priority = c.policy.ShadowPriority(m.Addr)
-				}
-				if c.st.Insert(e) == stash.Overflow {
-					c.stats.StashOverflows++
-				}
-			}
-			if isIntended {
-				if forward == 0 {
-					forward = arrival
-					res.onChip = lv < top
-					res.viaShadow = m.Kind == block.Shadow
-					res.fwdLevel = lv
-				}
-				if m.Kind == block.Real {
-					res.realLevel = lv
-				}
-			}
-		}
-	}
-
-	if forward == 0 || c.cfg.XOR {
-		// Not found before the end (or XOR compression, where the intended
-		// block only exists once the whole path has been XOR-ed).
-		forward = end
-		res.onChip = false
-		res.viaShadow = false
-	}
-	return forward, end, res
-}
-
-func (c *Controller) openPayload(bucket, s int) []byte {
-	ct := c.store.payload(bucket, s)
-	if c.engine == nil || ct == nil {
-		return nil
-	}
-	pt, err := c.engine.Decrypt(ct)
-	if err != nil {
-		panic(fmt.Sprintf("oram: corrupt ciphertext at bucket %d slot %d: %v", bucket, s, err))
-	}
-	return pt
-}
-
-func (c *Controller) seal(payload []byte) []byte {
-	if c.engine == nil {
-		return nil
-	}
-	if payload == nil {
-		payload = c.zeroPlain()
-	}
-	return c.engine.Encrypt(payload)
-}
-
-// pathWrite implements Algorithm 1: refill path-leaf from the stash as deep
-// as possible; free slots go to the duplication policy before defaulting to
-// dummies. Every slot is (re-)encrypted and written.
-func (c *Controller) pathWrite(start int64, leaf uint32) int64 {
-	if c.observer != nil {
-		c.observer(Event{Kind: EvPathWrite, Leaf: leaf, Start: start})
-	}
-	c.policy.BeginPathWrite(leaf)
-	path := c.geo.Path(leaf, c.pathBuf)
-	z := c.geo.Z
-	top := c.cfg.TreetopLevels
-
-	// Bucket the stash's real blocks by how deep they may go on this path.
-	pools := c.poolsBuf
-	for i := range pools {
-		pools[i] = pools[i][:0]
-	}
-	c.st.ForEachReal(func(e stash.Entry) {
-		il := c.geo.IntersectLevel(e.Meta.Label, leaf)
-		pools[il] = append(pools[il], e.Meta.Addr)
-	})
-	// Canonical placement order: the stash's internal layout depends on
-	// how many shadows passed through it, and placement must not — the
-	// security tests rely on Tiny and Shadow ORAM evicting identically.
-	for i := range pools {
-		sortAddrs(pools[i])
-	}
-	for k := range c.placedData {
-		delete(c.placedData, k)
-	}
-
-	for i := c.geo.PathLen() - 1; i >= 0; i-- {
-		lv := i / z
-		s := i % z
-		bucket := path[lv]
-
-		// Deepest-eligible stash block: any pool at level >= lv.
-		var addr uint32
-		found := false
-		for d := c.geo.L; d >= lv; d-- {
-			if n := len(pools[d]); n > 0 {
-				addr = pools[d][n-1]
-				pools[d] = pools[d][:n-1]
-				found = true
-				break
-			}
-		}
-		if found {
-			e, ok := c.st.Take(addr)
-			if !ok {
-				c.stats.Anomalies++
-				continue
-			}
-			c.store.set(bucket, s, e.Meta, c.seal(e.Data))
-			if c.cfg.Functional {
-				c.placedData[e.Meta.Addr] = e.Data
-			}
-			c.policy.NoteEvict(e.Meta, lv)
-			continue
-		}
-		if m, ok := c.policy.SelectDup(leaf, lv); ok {
-			c.store.set(bucket, s, m, c.seal(c.dupPayload(m.Addr)))
-			c.policy.NoteEvict(m, lv)
-			continue
-		}
-		c.store.set(bucket, s, block.DummyMeta, c.sealZero())
-	}
-
-	// Write back every off-chip slot.
-	c.addrBuf = c.addrBuf[:0]
-	for lv, bucket := range path {
-		if lv < top {
-			continue
-		}
-		for s := 0; s < z; s++ {
-			c.addrBuf = append(c.addrBuf, c.layout.SlotAddr(bucket, s))
-		}
-	}
-	end := start + 1
-	if len(c.addrBuf) > 0 {
-		if c.cfg.Channels > 0 {
-			end = c.channelBatch(start, dram.OpWrite, c.chanSpanWrite)
-		} else {
-			end = c.mem.WriteBatch(start, c.addrBuf)
-		}
-	}
-	c.policy.EndPathWrite()
-	return end
-}
-
-// channelBatch issues the access staged in addrBuf as one sub-batch per
-// DRAM channel, all entering the memory system at the same cycle. Channels
-// have independent banks and buses and each sub-batch preserves the
-// root-to-leaf order of its addresses, so every per-slot completion cycle —
-// scattered back into doneBuf for reads — is identical to issuing the whole
-// interleaved batch at once; what the split buys is that the layout has
-// already spread the path's rows evenly, so the sub-batches genuinely run
-// in parallel. Returns the completion cycle of the slowest channel.
-func (c *Controller) channelBatch(issue int64, op dram.Op, spans []string) int64 {
-	for ch := range c.chanAddrs {
-		c.chanAddrs[ch] = c.chanAddrs[ch][:0]
-		c.chanIdx[ch] = c.chanIdx[ch][:0]
-	}
-	for i, a := range c.addrBuf {
-		ch := c.mem.ChannelOf(a)
-		c.chanAddrs[ch] = append(c.chanAddrs[ch], a)
-		c.chanIdx[ch] = append(c.chanIdx[ch], i)
-	}
-	tracing := c.mc != nil && c.mc.Trace != nil
-	var end int64
-	for ch, sub := range c.chanAddrs {
-		if len(sub) == 0 {
-			continue
-		}
-		var done []int64
-		if op != dram.OpWrite {
-			done = c.chanDone[:len(sub)]
-		}
-		chEnd := c.mem.ReserveBatch(issue, op, sub, done)
-		for j, slot := range c.chanIdx[ch] {
-			if done != nil {
-				c.doneBuf[slot] = done[j]
-			}
-		}
-		if tracing {
-			c.mc.Trace.Span(spans[ch], "dram", tidChannel0+ch, issue, chEnd,
-				map[string]any{"blocks": len(sub)})
-		}
-		if chEnd > end {
-			end = chEnd
-		}
-	}
-	return end
-}
-
-// dupPayload finds the plaintext for a shadow copy of addr: either the
-// block was placed earlier in this very path write, or a shadow of it is
-// still resident in the stash.
-func (c *Controller) dupPayload(addr uint32) []byte {
-	if !c.cfg.Functional {
-		return nil
-	}
-	if d, ok := c.placedData[addr]; ok {
-		return d
-	}
-	if e, ok := c.st.Lookup(addr); ok {
-		return e.Data
-	}
-	c.stats.Anomalies++
-	return c.zeroPlain()
-}
 
 func max64(a, b int64) int64 {
 	if a > b {

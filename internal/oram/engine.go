@@ -1,0 +1,244 @@
+package oram
+
+import (
+	"fmt"
+
+	"shadowblock/internal/block"
+)
+
+// The staged request engine. One LLC request flows through a fixed
+// sequence of stages:
+//
+//	posmap walk  →  path read  →  forward  →  stash update  →  evict
+//	(posmap.go)    (pathread.go)  (forward.go) (stashupdate.go) (evict.go)
+//
+// Serial, pipelined and multi-channel operation are not separate code
+// paths: they are bindings of the same stage sequence, chosen once at
+// construction by bindEngine. The bindings decide when a staged batch may
+// enter the memory system (readIssue), how it maps onto DRAM (dispatchRead
+// / dispatchWrite), and what an eviction phase returns (evictRetire). The
+// hot path itself never branches on the configuration, which is what
+// keeps the serial engine bit-identical to its pre-refactor timing and
+// the touch sequence provably shared by every engine configuration.
+
+// reqState threads one LLC request through the engine's stages.
+type reqState struct {
+	addr  uint32
+	write bool
+
+	start int64 // slot-aligned cycle the controller began serving
+	cur   int64 // advances as stages complete
+
+	// Position-map walk accounting (stagePosmapWalk).
+	pmStart, pmEnd int64
+	pmLevels       int
+
+	evictsBefore uint64 // eviction counter before the data access
+
+	// Outcome of the data access (stageDataAccess).
+	forward   int64
+	onChip    bool
+	viaShadow bool
+}
+
+// bindEngine fixes the engine variation points from the configuration.
+// This is the only place that inspects Pipeline/Channels/XOR to decide
+// engine behaviour; everything downstream calls through the bound
+// function values.
+func (c *Controller) bindEngine() {
+	c.readOp = opRead(c.cfg.XOR)
+	if c.cfg.Pipeline {
+		c.readIssue = c.readIssuePipelined
+		c.evictRetire = c.evictRetirePipelined
+	} else {
+		c.readIssue = c.readIssueSerial
+		c.evictRetire = c.evictRetireSerial
+	}
+	if c.cfg.Channels > 0 {
+		c.dispatchRead = c.dispatchReadChannel
+		c.dispatchWrite = c.dispatchWriteChannel
+	} else {
+		c.dispatchRead = c.dispatchReadFlat
+		c.dispatchWrite = c.dispatchWriteFlat
+	}
+}
+
+// Request serves one LLC miss presented at cycle now. In timing-protection
+// mode, dummy requests are first issued for every unclaimed slot before
+// now, then the request takes the next slot.
+func (c *Controller) Request(now int64, addr uint32, write bool) Outcome {
+	if int(addr) >= c.pos.Hierarchy().NumData() {
+		panic(fmt.Sprintf("oram: address %d outside the data space", addr))
+	}
+	c.stats.Requests++
+	c.policy.NoteLLCMiss(addr)
+
+	// On-chip CAM lookup is effectively instant.
+	if out, served := c.tryStashHit(now, addr, write); served {
+		return out
+	}
+
+	// Backfilled dummies must reach the policy before this real request.
+	rs := reqState{addr: addr, write: write}
+	rs.start = c.alignForReal(now)
+	rs.cur = rs.start
+	c.policy.NoteORAMRequest(false)
+
+	rs.evictsBefore = c.evictCount
+	c.stagePosmapWalk(&rs)
+	c.stageDataAccess(&rs)
+
+	// Done is the completion of the work this request triggered: the read
+	// datapath, plus — only when one of its accesses tripped an eviction —
+	// the writeback still draining behind it. A pipelined request that
+	// merely overlapped someone else's writeback is not charged for it.
+	done := c.busyUntil
+	if c.evictCount != rs.evictsBefore {
+		done = c.completionCycle()
+	}
+	out := Outcome{Start: rs.start, Forward: rs.forward, Done: done, OnChip: rs.onChip}
+	// Eq. 1 charges the request's datapath window to data-access time. The
+	// serial engine's busyUntil includes the writeback, so this matches
+	// Done-Start there; the pipelined engine accounts a draining writeback
+	// as background (DRI) work, keeping the decomposition additive even
+	// when the next request's window overlaps the drain.
+	c.stats.DataAccessCycles += c.busyUntil - out.Start
+	c.lastDone = out.Done
+	if c.mc != nil {
+		c.observeRequest(now, addr, write, out, rs.viaShadow, rs.pmStart, rs.pmEnd, rs.pmLevels)
+	}
+
+	// Track the typical request duration for the virtual-dummy signal used
+	// by dynamic partitioning without timing protection (DESIGN.md §3).
+	dur := out.Done - out.Start
+	c.emaAccess += (dur - c.emaAccess) / 8
+	return out
+}
+
+// tryStashHit serves a request out of resident on-chip state when
+// possible: a real block always, a shadow for reads unless shadow hits are
+// disabled. A write that only hits a shadow must still collect and
+// supersede the tree copy, so it falls through to a full request.
+func (c *Controller) tryStashHit(now int64, addr uint32, write bool) (Outcome, bool) {
+	e, ok := c.st.Lookup(addr)
+	if !ok {
+		return Outcome{}, false
+	}
+	if e.Meta.Kind != block.Real && (write || c.cfg.DisableShadowHits) {
+		return Outcome{}, false
+	}
+	if e.Meta.Kind == block.Real {
+		c.stats.StashHits++
+		if write && c.cfg.Functional {
+			c.st.Update(addr, c.writeValue(addr))
+		}
+	} else {
+		c.stats.ShadowStashHits++
+	}
+	c.stats.OnChipHits++
+	out := Outcome{Start: now, Forward: now + 1, Done: now + 1, StashHit: true, OnChip: true}
+	if c.mc != nil {
+		c.observeRequest(now, addr, write, out, e.Meta.Kind == block.Shadow, 0, 0, 0)
+	}
+	return out, true
+}
+
+// stageDataAccess runs the data block's own ORAM access and folds its
+// outcome into the request state.
+func (c *Controller) stageDataAccess(rs *reqState) {
+	forward, _, onChip, viaShadow := c.oramAccess(rs.cur, rs.addr, rs.write, false)
+	if viaShadow {
+		c.stats.ShadowForwards++
+	}
+	if onChip {
+		c.stats.OnChipHits++
+	}
+	rs.forward = forward
+	rs.onChip = onChip
+	rs.viaShadow = viaShadow
+}
+
+// oramAccess performs one read-only ORAM access for addr through the
+// engine's explicit stages — path read (which forwards the intended data
+// at its earliest copy's arrival), stash update, eviction writeback when
+// due. It returns the forward cycle of addr's data, the cycle the read
+// datapath frees, whether the forward came from on-chip state, and whether
+// a tree shadow provided it.
+func (c *Controller) oramAccess(start int64, addr uint32, write, parkInPLB bool) (forward, end int64, onChip, viaShadow bool) {
+	start = max64(start, c.busyUntil)
+	label := c.pos.Label(addr)
+
+	// Stage: path read + forward.
+	var res readResult
+	forward, end, res = c.pathRead(start, label, addr, false)
+	if c.mc != nil && c.mc.Trace != nil {
+		c.mc.Trace.Span("path.read", "oram", tidRequest, start, end,
+			map[string]any{"req": c.stats.Requests, "addr": addr, "leaf": label, "fwd_level": res.fwdLevel})
+	}
+	if res.realLevel >= 0 {
+		c.stats.FwdSamples++
+		c.stats.SumFwdLevel += uint64(res.fwdLevel)
+		c.stats.SumRealLevel += uint64(res.realLevel)
+		c.stats.SumFwdCycles += uint64(forward - start)
+		c.stats.SumEndCycles += uint64(end - start)
+	}
+
+	// Stage: stash update (on-chip, overlapped with the read's tail).
+	c.stashUpdate(addr, write, parkInPLB)
+
+	// Stage: eviction writeback, every A accesses.
+	c.accessCount++
+	end = c.maybeEvict(end)
+	c.busyUntil = end
+	return forward, end, res.onChip, res.viaShadow
+}
+
+// alignForReal issues any due dummy requests and returns the cycle at which
+// a real request presented at now may start.
+func (c *Controller) alignForReal(now int64) int64 {
+	if !c.cfg.TimingProtection {
+		start := max64(now, c.busyUntil)
+		// Virtual dummy signal: a gap long enough to have fitted another
+		// request means the DRI was long (RD-Dup preferred).
+		if c.stats.ORAMAccesses > 0 && start-c.lastDone > c.emaAccess {
+			c.policy.NoteORAMRequest(true)
+		}
+		return start
+	}
+	c.AdvanceTo(now)
+	return c.nextSlot(max64(now, c.busyUntil))
+}
+
+// AdvanceTo issues timing-protection dummy requests for every slot that
+// falls strictly before now while the controller is idle. Without timing
+// protection it is a no-op.
+func (c *Controller) AdvanceTo(now int64) {
+	if !c.cfg.TimingProtection {
+		return
+	}
+	for {
+		s := c.nextSlot(c.busyUntil)
+		if s >= now {
+			return
+		}
+		c.issueDummy(s)
+	}
+}
+
+func (c *Controller) nextSlot(t int64) int64 {
+	r := c.cfg.RequestRate
+	return (t + r - 1) / r * r
+}
+
+func (c *Controller) issueDummy(start int64) {
+	leaf := uint32(c.dummyRNG.Uint64n(uint64(c.geo.NumLeaves())))
+	c.stats.DummyAccesses++
+	c.policy.NoteORAMRequest(true)
+	_, end, _ := c.pathRead(start, leaf, NoAddr, false)
+	if c.mc != nil && c.mc.Trace != nil {
+		c.mc.Trace.Span("dummy", "oram", tidBackground, start, end, map[string]any{"leaf": leaf})
+	}
+	c.accessCount++
+	end = c.maybeEvict(end)
+	c.busyUntil = end
+}

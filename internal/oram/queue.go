@@ -1,0 +1,166 @@
+package oram
+
+import (
+	"fmt"
+	"sync"
+
+	"shadowblock/internal/metrics"
+)
+
+// Queue is the multi-requestor front end: an MSHR-style table between the
+// N cores of a multi-core processor and one shared ORAM controller.
+//
+// The controller models serial hardware and serves one access at a time;
+// the queue is what lets several cores share it soundly:
+//
+//   - Coalescing: a secondary miss on an address whose primary miss is
+//     still in flight (its data has not yet forwarded) attaches to the
+//     existing MSHR entry and shares its data-return cycle instead of
+//     launching a second ORAM access. Without this, the synchronous
+//     timing model would hand the secondary core an instant stash hit on
+//     data that is physically still in DRAM.
+//   - Arbitration: the driving loop (cpu.RunCores) presents requests in
+//     deterministic (cycle, core) order — ties at the same readiness
+//     cycle resolve to the lowest core index — and the queue serves
+//     strictly in presentation order. Queueing therefore reorders only
+//     *when* a request issues relative to other cores; the DRAM touch
+//     pattern of each individual access is the engine's and never
+//     changes (see TestTouchSequenceAcrossEngines).
+//
+// A single in-order core never finds a live entry (it blocks on its own
+// forwards), so single-core runs through the queue are cycle-identical to
+// driving the controller directly.
+//
+// Issue is safe for concurrent callers (the table and the controller are
+// guarded by one lock), so race-detector tests can hammer a shared queue;
+// the simulator itself presents requests from one goroutine.
+type Queue struct {
+	mu    sync.Mutex
+	ctrl  *Controller
+	cores int
+
+	live []mshr // in-flight entries, pruned as their forwards pass
+
+	stats QueueStats
+
+	mc         *metrics.Collector
+	coreSeries []string // req_latency.coreN, precomputed
+}
+
+// mshr is one in-flight miss: the address it fetches and when its data
+// forwards / its triggered work completes.
+type mshr struct {
+	addr    uint32
+	forward int64
+	done    int64
+}
+
+// QueueStats counts the front end's traffic.
+type QueueStats struct {
+	Issued    uint64 // requests that opened an MSHR (reached the memory system)
+	OnChip    uint64 // served by the controller's stash, no MSHR needed
+	Coalesced uint64 // secondary misses attached to an in-flight MSHR
+	MaxDepth  int    // high-water mark of in-flight MSHRs
+}
+
+// NewQueue builds the front end for cores requestors sharing ctrl.
+func NewQueue(ctrl *Controller, cores int) *Queue {
+	if cores < 1 {
+		panic(fmt.Sprintf("oram: queue needs >= 1 core, got %d", cores))
+	}
+	return &Queue{ctrl: ctrl, cores: cores}
+}
+
+// SetMetrics attaches an observability collector (nil detaches): per-core
+// request latency series (req_latency.coreN) and the queue-depth series.
+// Observation never changes simulated timing.
+func (q *Queue) SetMetrics(mc *metrics.Collector) {
+	q.mc = mc
+	q.coreSeries = nil
+	if mc != nil {
+		q.coreSeries = make([]string, q.cores)
+		for i := range q.coreSeries {
+			q.coreSeries[i] = fmt.Sprintf("req_latency.core%d", i)
+		}
+	}
+}
+
+// Controller exposes the shared controller behind the queue.
+func (q *Queue) Controller() *Controller { return q.ctrl }
+
+// Stats returns a copy of the front end's counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Depth returns the number of MSHRs in flight at cycle now.
+func (q *Queue) Depth(now int64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.prune(now)
+	return len(q.live)
+}
+
+// Issue presents core's LLC miss at cycle now and returns when the data
+// forwards and when the triggered work completes. A secondary miss on an
+// in-flight address coalesces onto its MSHR; everything else reaches the
+// shared controller in presentation order.
+func (q *Queue) Issue(now int64, core int, addr uint32, write bool) (forward, done int64) {
+	if core < 0 || core >= q.cores {
+		panic(fmt.Sprintf("oram: core %d outside [0,%d)", core, q.cores))
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.prune(now)
+
+	for i := range q.live {
+		if e := &q.live[i]; e.addr == addr && now < e.forward {
+			q.stats.Coalesced++
+			q.mc.Count("queue.coalesced", 1)
+			q.observe(now, core, e.forward-now)
+			return e.forward, e.done
+		}
+	}
+
+	out := q.ctrl.Request(now, addr, write)
+	if out.StashHit {
+		// Served on-chip: the miss never occupied the memory system, so
+		// there is nothing for a later miss to coalesce onto.
+		q.stats.OnChip++
+		q.mc.Count("queue.onchip", 1)
+	} else {
+		q.stats.Issued++
+		q.mc.Count("queue.issued", 1)
+		q.live = append(q.live, mshr{addr: addr, forward: out.Forward, done: out.Done})
+		if len(q.live) > q.stats.MaxDepth {
+			q.stats.MaxDepth = len(q.live)
+		}
+	}
+	q.observe(now, core, out.Forward-now)
+	return out.Forward, out.Done
+}
+
+// prune retires entries whose data has forwarded by cycle now. Retired
+// lines live in the stash (or the tree after eviction), so the controller
+// serves re-references to them directly.
+func (q *Queue) prune(now int64) {
+	kept := q.live[:0]
+	for _, e := range q.live {
+		if e.forward > now {
+			kept = append(kept, e)
+		}
+	}
+	q.live = kept
+}
+
+// observe records the per-core latency sample and the queue depth. Pure
+// reads of decided timing: attaching a collector never changes a run.
+func (q *Queue) observe(now int64, core int, lat int64) {
+	if q.mc == nil {
+		return
+	}
+	q.mc.Observe(q.coreSeries[core], now, float64(lat))
+	q.mc.Observe("queue_depth", now, float64(len(q.live)))
+}

@@ -1,0 +1,236 @@
+package oram
+
+import (
+	"sync"
+	"testing"
+
+	"shadowblock/internal/metrics"
+	"shadowblock/internal/rng"
+)
+
+// fixedSchedule is a deterministic (cycle, addr, write) request stream,
+// independent of responses, so queues under comparison see identical
+// inputs.
+type schedEntry struct {
+	now   int64
+	addr  uint32
+	write bool
+}
+
+func fixedSchedule(ctrl *Controller, n int, seed uint64) []schedEntry {
+	r := rng.NewXoshiro(seed)
+	space := uint64(ctrl.NumDataBlocks())
+	sched := make([]schedEntry, n)
+	for i := range sched {
+		sched[i] = schedEntry{
+			now:   int64(i) * 1700,
+			addr:  uint32(r.Uint64n(space)),
+			write: r.Float64() < 0.3,
+		}
+	}
+	return sched
+}
+
+// queueTrace drives a fresh controller for cfg through a queue shared by
+// the given number of cores and returns the observable external trace.
+func queueTrace(t *testing.T, cfg Config, cores, n int, seed uint64) []Event {
+	t.Helper()
+	ctrl := MustNew(cfg, nil)
+	var events []Event
+	ctrl.SetObserver(func(e Event) { events = append(events, e) })
+	q := NewQueue(ctrl, cores)
+	for i, s := range fixedSchedule(ctrl, n, seed) {
+		q.Issue(s.now, i%cores, s.addr, s.write)
+	}
+	return events
+}
+
+// TestQueueTouchSequenceAcrossCores is the front end's security argument as
+// an executable check: how many cores share the queue may change *when*
+// requests issue and which ones coalesce away entirely, but never which
+// physical locations an issued access touches or in what order. For every
+// engine configuration, the (kind, leaf) trace under the same request
+// schedule must be identical for 1, 2, and 4 cores.
+func TestQueueTouchSequenceAcrossCores(t *testing.T) {
+	engines := []struct {
+		name     string
+		pipe     bool
+		channels int
+	}{
+		{"serial", false, 0},
+		{"serial-c1", false, 1},
+		{"serial-c4", false, 4},
+		{"pipe", true, 0},
+		{"pipe-c1", true, 1},
+		{"pipe-c4", true, 4},
+	}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Pipeline = eng.pipe
+			cfg.Channels = eng.channels
+			ref := queueTrace(t, cfg, 1, 400, 97)
+			for _, cores := range []int{2, 4} {
+				got := queueTrace(t, cfg, cores, 400, 97)
+				if len(got) != len(ref) {
+					t.Fatalf("cores=%d: trace length %d, single-core %d", cores, len(got), len(ref))
+				}
+				for i := range got {
+					if got[i].Kind != ref[i].Kind || got[i].Leaf != ref[i].Leaf {
+						t.Fatalf("cores=%d: event %d touches a different location: %+v vs %+v",
+							cores, i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueueSingleCoreMatchesController: when requests are spaced the way an
+// in-order core issues them — never before the previous data returned — the
+// queue is a transparent wrapper and returns exactly the controller's
+// timings.
+func TestQueueSingleCoreMatchesController(t *testing.T) {
+	direct := MustNew(testConfig(), nil)
+	queued := MustNew(testConfig(), nil)
+	q := NewQueue(queued, 1)
+
+	r := rng.NewXoshiro(55)
+	space := uint64(direct.NumDataBlocks())
+	var nowD, nowQ int64
+	for i := 0; i < 300; i++ {
+		addr := uint32(r.Uint64n(space))
+		write := r.Float64() < 0.3
+		out := direct.Request(nowD, addr, write)
+		fwd, done := q.Issue(nowQ, 0, addr, write)
+		if fwd != out.Forward || done != out.Done {
+			t.Fatalf("request %d: queue (%d,%d) vs controller (%d,%d)",
+				i, fwd, done, out.Forward, out.Done)
+		}
+		nowD = out.Forward + 5
+		nowQ = fwd + 5
+	}
+	if st := q.Stats(); st.Coalesced != 0 {
+		t.Fatalf("in-order-spaced stream coalesced %d requests", st.Coalesced)
+	}
+}
+
+// TestQueueCoalescesInflightSameAddress: a secondary miss on an address
+// whose primary is still in flight must share the primary's data-return
+// cycle instead of reaching the controller — the data is physically still
+// in DRAM, an instant stash hit would be wrong.
+func TestQueueCoalescesInflightSameAddress(t *testing.T) {
+	ctrl := MustNew(testConfig(), nil)
+	q := NewQueue(ctrl, 4)
+	col := metrics.New(metrics.Options{})
+	q.SetMetrics(col)
+
+	fwd0, done0 := q.Issue(0, 0, 7, false)
+	if fwd0 <= 0 {
+		t.Fatalf("primary miss forwarded at %d", fwd0)
+	}
+	reqs := ctrl.Stats().Requests
+
+	fwd1, done1 := q.Issue(1, 2, 7, true)
+	if fwd1 != fwd0 || done1 != done0 {
+		t.Fatalf("secondary got (%d,%d), want the primary's (%d,%d)", fwd1, done1, fwd0, done0)
+	}
+	if got := ctrl.Stats().Requests; got != reqs {
+		t.Fatalf("secondary reached the controller: %d requests, want %d", got, reqs)
+	}
+	st := q.Stats()
+	if st.Coalesced != 1 || st.Issued != 1 {
+		t.Fatalf("stats = %+v, want 1 issued, 1 coalesced", st)
+	}
+	if col.Counter("queue.coalesced") != 1 || col.Counter("queue.issued") != 1 {
+		t.Fatalf("counters: issued=%d coalesced=%d, want 1/1",
+			col.Counter("queue.issued"), col.Counter("queue.coalesced"))
+	}
+
+	// Past the primary's forward the line is in the stash: a re-reference
+	// is the controller's business again, not a coalesce.
+	fwd2, _ := q.Issue(fwd0+1, 1, 7, false)
+	if fwd2 == fwd0 {
+		t.Fatal("re-reference after forward still coalesced")
+	}
+	if st := q.Stats(); st.Coalesced != 1 {
+		t.Fatalf("late re-reference coalesced: %+v", st)
+	}
+}
+
+// TestQueueDepthTracksInflight exercises Depth and MaxDepth over a burst of
+// distinct-address misses.
+func TestQueueDepthTracksInflight(t *testing.T) {
+	ctrl := MustNew(testConfig(), nil)
+	q := NewQueue(ctrl, 4)
+	var lastFwd int64
+	for i := 0; i < 4; i++ {
+		lastFwd, _ = q.Issue(int64(i), i, uint32(100+i), false)
+	}
+	if d := q.Depth(4); d == 0 {
+		t.Fatal("no MSHRs in flight after a burst")
+	}
+	if st := q.Stats(); st.MaxDepth < 1 {
+		t.Fatalf("MaxDepth = %d after a burst", st.MaxDepth)
+	}
+	if d := q.Depth(lastFwd + 1); d != 0 {
+		t.Fatalf("%d MSHRs still live after every forward passed", d)
+	}
+}
+
+// TestQueueConcurrentIssue hammers one shared queue from many goroutines so
+// the race detector can see the lock discipline. The simulator itself is
+// single-threaded; this pins that the front end stays safe for concurrent
+// callers anyway.
+func TestQueueConcurrentIssue(t *testing.T) {
+	ctrl := MustNew(testConfig(), nil)
+	q := NewQueue(ctrl, 8)
+	q.SetMetrics(nil)
+	space := uint64(ctrl.NumDataBlocks())
+
+	var wg sync.WaitGroup
+	for core := 0; core < 8; core++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			r := rng.NewXoshiro(uint64(1000 + core))
+			now := int64(core)
+			for i := 0; i < 50; i++ {
+				fwd, done := q.Issue(now, core, uint32(r.Uint64n(space)), r.Float64() < 0.3)
+				if fwd > done {
+					t.Errorf("core %d: forward %d after done %d", core, fwd, done)
+					return
+				}
+				now = fwd + int64(r.Uint64n(100))
+			}
+		}(core)
+	}
+	// Readers race the writers on purpose.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			q.Stats()
+			q.Depth(int64(i) * 50)
+		}
+	}()
+	wg.Wait()
+
+	st := q.Stats()
+	if st.Issued+st.OnChip+st.Coalesced != 8*50 {
+		t.Fatalf("requests lost: %+v sums to %d, want %d", st, st.Issued+st.OnChip+st.Coalesced, 8*50)
+	}
+	if err := ctrl.CheckInvariants(); err != nil {
+		t.Fatalf("controller invariants broken after concurrent issue: %v", err)
+	}
+}
+
+// TestQueueRejectsBadArgs pins the constructor and core-range guards.
+func TestQueueRejectsBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQueue(ctrl, 0) did not panic")
+		}
+	}()
+	NewQueue(MustNew(testConfig(), nil), 0)
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"shadowblock/internal/core"
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/trace"
+)
+
+// goldenSpec builds the fixed system the golden values below were captured
+// on: sjeng scaled 1/16, the in-order core, a small tree.
+func goldenSpec(pipe bool, channels int, dynamic bool) Spec {
+	p, _ := trace.ByName("sjeng")
+	ocfg := oram.Default()
+	ocfg.L = 12
+	ocfg.Pipeline = pipe
+	ocfg.Channels = channels
+	spec := Spec{
+		Profile: p.Scaled(1, 16),
+		CPU:     cpu.InOrder(),
+		Refs:    2500,
+		Seed:    1,
+		ORAM:    ocfg,
+	}
+	if dynamic {
+		pc := core.Dynamic(3)
+		spec.Policy = &pc
+	}
+	return spec
+}
+
+// TestSingleCoreGolden pins full-system cycle counts for every engine
+// configuration, captured on the pre-refactor monolithic controller. The
+// staged engine AND the multi-requestor front end sit on the request path
+// now; a single in-order core must still produce these numbers to the
+// cycle. Any drift here means the refactor changed simulated behavior, not
+// just code structure.
+func TestSingleCoreGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	golden := []struct {
+		name     string
+		pipe     bool
+		channels int
+		dynamic  bool
+		cycles   int64
+		dataAcc  int64
+		reads    uint64
+		writes   uint64
+	}{
+		{name: "tiny-serial", pipe: false, channels: 0, dynamic: false, cycles: 2674282, dataAcc: 1799655, reads: 156780, writes: 26130},
+		{name: "tiny-pipe", pipe: true, channels: 0, dynamic: false, cycles: 2619484, dataAcc: 1725004, reads: 156780, writes: 26130},
+		{name: "tiny-c4", pipe: false, channels: 4, dynamic: false, cycles: 1806785, dataAcc: 958953, reads: 156780, writes: 26130},
+		{name: "tiny-pipe-c4", pipe: true, channels: 4, dynamic: false, cycles: 1750122, dataAcc: 908330, reads: 156780, writes: 26130},
+		{name: "dyn3-serial", pipe: false, channels: 0, dynamic: true, cycles: 2676110, dataAcc: 1796710, reads: 156520, writes: 26065},
+		{name: "dyn3-pipe-c4", pipe: true, channels: 4, dynamic: true, cycles: 1748439, dataAcc: 906584, reads: 156455, writes: 26065},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Run(goldenSpec(g.pipe, g.channels, g.dynamic))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Cycles != g.cycles || m.DataAccess != g.dataAcc {
+				t.Errorf("cycles/dataAccess = %d/%d, golden %d/%d",
+					m.Cycles, m.DataAccess, g.cycles, g.dataAcc)
+			}
+			if m.Mem.Reads != g.reads || m.Mem.Writes != g.writes {
+				t.Errorf("DRAM reads/writes = %d/%d, golden %d/%d",
+					m.Mem.Reads, m.Mem.Writes, g.reads, g.writes)
+			}
+			// A single in-order core blocks on its own forwards: the front
+			// end must never have found anything to coalesce.
+			if m.Queue.Coalesced != 0 {
+				t.Errorf("single-core run coalesced %d requests", m.Queue.Coalesced)
+			}
+		})
+	}
+}
+
+// TestMultiCoreDeterministic: a fixed seed fully determines a multi-core
+// run. The (cycle, core) arbitration and the MSHR table are deterministic,
+// so two executions of the same quad-core spec must agree on every metric,
+// bit for bit.
+func TestMultiCoreDeterministic(t *testing.T) {
+	spec := goldenSpec(true, 4, true)
+	spec.CPU = cpu.O3()
+
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs of the same spec diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Queue.Issued == 0 {
+		t.Fatal("front end saw no traffic")
+	}
+}
+
+// TestQuadCoreSharesFrontEnd: a quad-core run actually exercises the
+// multi-requestor path — misses reach the shared controller through the
+// queue, and cross-core same-address misses coalesce.
+func TestQuadCoreSharesFrontEnd(t *testing.T) {
+	spec := goldenSpec(true, 4, false)
+	spec.CPU = cpu.O3()
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queue
+	if q.Issued == 0 {
+		t.Fatal("no misses issued through the front end")
+	}
+	if q.MaxDepth < 2 {
+		t.Fatalf("max queue depth %d: four OOO cores never overlapped misses", q.MaxDepth)
+	}
+	// Only non-coalesced traffic reaches the controller.
+	if q.Issued+q.OnChip != m.ORAM.Requests {
+		t.Fatalf("front-end accounting broken: %+v vs %d controller requests", q, m.ORAM.Requests)
+	}
+}

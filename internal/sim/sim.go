@@ -43,9 +43,10 @@ type Metrics struct {
 	DataAccess int64 // cycles spent serving real ORAM requests
 	DRI        int64 // everything else: idle, compute, dummy requests
 
-	CPU  cpu.Result
-	ORAM oram.Stats
-	Mem  dram.Stats
+	CPU   cpu.Result
+	ORAM  oram.Stats
+	Queue oram.QueueStats // front-end traffic; zero for the insecure baseline
+	Mem   dram.Stats
 
 	Energy        float64
 	OnChipHitRate float64
@@ -57,19 +58,6 @@ type Metrics struct {
 	// Obs is the full observability report (histograms, time-series,
 	// counters); nil unless Spec.Metrics was set.
 	Obs *metrics.Report
-}
-
-// oramMemory adapts an ORAM controller to the cpu.Memory interface. Trace
-// block addresses map one-to-one onto ORAM data blocks: Run rejects specs
-// whose footprint exceeds the data space, so no two trace addresses ever
-// alias onto one block (folding them would silently inflate hit rates).
-type oramMemory struct {
-	ctrl *oram.Controller
-}
-
-func (m *oramMemory) Request(now int64, addr uint32, write bool) (int64, int64) {
-	out := m.ctrl.Request(now, addr, write)
-	return out.Forward, out.Done
 }
 
 // insecureMemory is the no-protection baseline: each LLC miss is one DRAM
@@ -157,8 +145,16 @@ func Run(spec Spec) (Metrics, error) {
 		}
 		spec.CPU.Metrics = spec.Metrics
 	}
-	mem := &oramMemory{ctrl: ctrl}
-	res, err := cpu.Run(spec.CPU, traces, mem)
+	// All cores issue into the shared controller through the MSHR-style
+	// front end; the queue satisfies cpu.CoreMemory directly. Trace block
+	// addresses map one-to-one onto ORAM data blocks: the footprint check
+	// above guarantees no two trace addresses alias onto one block
+	// (folding them would silently inflate hit rates).
+	queue := oram.NewQueue(ctrl, spec.CPU.Cores)
+	if spec.Metrics != nil {
+		queue.SetMetrics(spec.Metrics)
+	}
+	res, err := cpu.RunCores(spec.CPU, traces, queue)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -174,6 +170,7 @@ func Run(spec Spec) (Metrics, error) {
 		DRI:        cycles - ost.DataAccessCycles,
 		CPU:        res,
 		ORAM:       ost,
+		Queue:      queue.Stats(),
 		Mem:        mst,
 		Energy:     Energy(mst, cycles),
 	}
