@@ -11,7 +11,9 @@
 //
 // -metrics/-trace run one additional instrumented cell (workload
 // -obs-bench under scheme -obs-scheme) and emit its metrics JSON report
-// and Chrome trace; -pprof profiles the whole sweep live.
+// and Chrome trace; -debug (alias -pprof) serves the live debug mux —
+// /debug/pprof for Go profiles of the sweep, /debug/shadow for a JSON
+// snapshot of the observation cell mid-run.
 package main
 
 import (
@@ -40,14 +42,27 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "run the observation cell on the pipelined request engine")
 	channels := flag.Int("channels", 0, "run the observation cell on the N-channel memory system (same as a -cN scheme suffix)")
 	cores := flag.Int("cores", 0, "run the observation cell with N issuing cores (same as a -coreN scheme suffix)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	debugAddr := flag.String("debug", "", "serve the live debug mux (/debug/pprof, /debug/vars, /debug/shadow) on this address")
+	pprofAddr := flag.String("pprof", "", "alias for -debug (kept for compatibility)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		if err := metrics.ServePProf(*pprofAddr); err != nil {
-			fatal(fmt.Errorf("pprof: %w", err))
+	if *debugAddr == "" {
+		*debugAddr = *pprofAddr
+	}
+
+	// The observation cell's collector doubles as the /debug/shadow data
+	// source, so a long instrumented cell can be inspected mid-flight.
+	var col *metrics.Collector
+	if *metricsOut != "" || *traceOut != "" {
+		col = metrics.New(metrics.Options{Tracing: *traceOut != "", Ledger: true})
+	}
+	if *debugAddr != "" {
+		srv, err := metrics.ServeDebug(*debugAddr, col)
+		if err != nil {
+			fatal(fmt.Errorf("debug: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "paperbench: pprof on http://%s/debug/pprof\n", *pprofAddr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "paperbench: debug mux on http://%s/debug/{pprof,vars,shadow}\n", srv.Addr())
 	}
 
 	r := experiments.Default()
@@ -58,8 +73,8 @@ func main() {
 		r.Refs = *refs
 	}
 
-	if *metricsOut != "" || *traceOut != "" {
-		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *cores, *metricsOut, *traceOut); err != nil {
+	if col != nil {
+		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *cores, *metricsOut, *traceOut, col); err != nil {
 			fatal(err)
 		}
 	}
@@ -114,7 +129,7 @@ func main() {
 
 // observe runs the single instrumented (bench, scheme) cell and writes its
 // metrics report and/or Chrome trace.
-func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels, cores int, metricsOut, traceOut string) error {
+func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels, cores int, metricsOut, traceOut string, col *metrics.Collector) error {
 	p, ok := trace.ByName(bench)
 	if !ok {
 		return fmt.Errorf("observe: unknown benchmark %q", bench)
@@ -138,7 +153,6 @@ func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels
 	if cores > 0 {
 		s.Cores = cores
 	}
-	col := metrics.New(metrics.Options{Tracing: traceOut != ""})
 	start := time.Now()
 	m, err := r.Observe(p, cpu.InOrder(), s, col)
 	if err != nil {

@@ -8,11 +8,15 @@
 //	shadowsim -bench mcf -scheme static-7
 //	shadowsim -bench namd -scheme insecure
 //	shadowsim -bench hmmer -scheme dynamic-3 -metrics m.json -trace t.json
+//	shadowsim -bench mcf -scheme dynamic-3 -debug localhost:6060
 //
 // With -metrics the run additionally emits a machine-readable JSON report
-// (latency percentiles, epoch time-series, counters); with -trace it emits
-// a Chrome trace-event JSON of request lifecycles loadable in Perfetto.
-// See the README's "Observability" section for the schemas.
+// (latency percentiles, epoch time-series, counters, and the
+// cycle-attribution ledger — disable the latter with -no-ledger); with
+// -trace it emits a Chrome trace-event JSON of request lifecycles loadable
+// in Perfetto; -debug serves the live debug mux (/debug/pprof,
+// /debug/vars, and the /debug/shadow simulation snapshot). See the
+// README's "Observability" section for the schemas.
 package main
 
 import (
@@ -44,16 +48,15 @@ func main() {
 	level := flag.Int("L", 0, "override tree leaf level (default 18)")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON report to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug", "", "serve the live debug mux (/debug/pprof, /debug/vars, /debug/shadow) on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "alias for -debug (kept for compatibility)")
 	window := flag.Int64("metrics-window", 0, "time-series window in cycles (0 = default)")
 	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity in events (0 = default)")
+	noLedger := flag.Bool("no-ledger", false, "disable the cycle-attribution ledger in the metrics report")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		if err := metrics.ServePProf(*pprofAddr); err != nil {
-			fail(fmt.Errorf("pprof: %w", err))
-		}
-		fmt.Fprintf(os.Stderr, "shadowsim: pprof on http://%s/debug/pprof\n", *pprofAddr)
+	if *debugAddr == "" {
+		*debugAddr = *pprofAddr
 	}
 
 	p, ok := trace.ByName(*bench)
@@ -98,13 +101,23 @@ func main() {
 	}
 
 	var col *metrics.Collector
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" {
 		col = metrics.New(metrics.Options{
 			WindowCycles:  *window,
 			Tracing:       *traceOut != "",
 			TraceCapacity: *traceCap,
+			Ledger:        !*noLedger,
 		})
 		spec.Metrics = col
+	}
+
+	if *debugAddr != "" {
+		srv, err := metrics.ServeDebug(*debugAddr, col)
+		if err != nil {
+			fail(fmt.Errorf("debug: %w", err))
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "shadowsim: debug mux on http://%s/debug/{pprof,vars,shadow}\n", srv.Addr())
 	}
 
 	m, err := sim.Run(spec)
@@ -154,6 +167,19 @@ func main() {
 			fmt.Printf("req latency     p50 %d, p90 %d, p99 %d, max %d (mean %.0f over %d requests)\n",
 				lat.P50, lat.P90, lat.P99, lat.Max, lat.Mean, lat.Count)
 		}
+		if m.Obs != nil && m.Obs.Ledger != nil {
+			led := m.Obs.Ledger
+			total := led.CompleteCycles + led.Stage("coalesce").Cycles
+			fmt.Printf("attribution     %d attributed cycles over %d requests (+%d coalesced), %d violations\n",
+				total, led.Requests, led.Coalesced, led.Violations)
+			for _, s := range led.Stages {
+				if s.Cycles == 0 && s.Count == 0 {
+					continue
+				}
+				fmt.Printf("  %-13s %12d cycles (%5.1f%%)  x%d\n",
+					s.Stage, s.Cycles, 100*float64(s.Cycles)/float64(max64(total, 1)), s.Count)
+			}
+		}
 		if m.Obs != nil {
 			m.Obs.Labels["scheme"] = *scheme
 		}
@@ -178,4 +204,11 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "shadowsim:", err)
 	os.Exit(1)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

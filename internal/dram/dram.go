@@ -63,11 +63,19 @@ type bank struct {
 	readyAt    int64 // earliest next column command
 	activateAt int64 // time of last activate (for tRAS)
 	writeEnd   int64 // end of the last write burst (for tWR before precharge)
+
+	// Attribution counters (pure observation, never consulted for timing):
+	// busy is the cycles the bank spent on row work (precharge/activate)
+	// plus column-command occupancy; stall is the cycles accesses waited
+	// for the bank to accept their command.
+	busy  int64
+	stall int64
 }
 
 type channel struct {
 	busFreeAt int64
 	busBusy   int64 // cumulative cycles of reserved data-bus occupancy
+	busStall  int64 // cycles data bursts waited for the bus (attribution)
 	banks     []bank
 }
 
@@ -158,6 +166,37 @@ func (m *Memory) ChannelBacklog(ch int, now int64) int64 {
 // signal.
 func (m *Memory) ChannelBusy(ch int) int64 { return m.channels[ch].busBusy }
 
+// BankLedger is one bank's cycle attribution: busy (row work plus column
+// occupancy) and stall (cycles accesses waited for the bank).
+type BankLedger struct {
+	Busy  int64
+	Stall int64
+}
+
+// ChannelLedger is one channel's cycle attribution: data-bus occupancy and
+// contention, plus the per-bank breakdown.
+type ChannelLedger struct {
+	BusBusy  int64
+	BusStall int64
+	Banks    []BankLedger
+}
+
+// Ledger snapshots the memory system's per-channel / per-bank cycle
+// attribution. Pure observation: the counters are charged alongside the
+// timing decisions Access already makes and never feed back into them.
+func (m *Memory) Ledger() []ChannelLedger {
+	out := make([]ChannelLedger, len(m.channels))
+	for i := range m.channels {
+		c := &m.channels[i]
+		cl := ChannelLedger{BusBusy: c.busBusy, BusStall: c.busStall, Banks: make([]BankLedger, len(c.banks))}
+		for bk := range c.banks {
+			cl.Banks[bk] = BankLedger{Busy: c.banks[bk].busy, Stall: c.banks[bk].stall}
+		}
+		out[i] = cl
+	}
+	return out
+}
+
 // mapAddr decomposes a physical byte address. Rows are interleaved across
 // channels first and banks second, so that consecutive subtrees of the ORAM
 // layout land on different channels/banks and a path access enjoys
@@ -182,6 +221,10 @@ func (m *Memory) Access(now int64, addr uint64, write, transferOnBus bool) int64
 	b := &c.banks[bk]
 
 	t := max64(now, b.readyAt)
+	if b.readyAt > now {
+		b.stall += b.readyAt - now
+	}
+	rowWorkStart := t
 	if b.openRow != row {
 		if b.openRow != -1 {
 			// Precharge may not begin before tRAS from the activate, nor
@@ -198,10 +241,16 @@ func (m *Memory) Access(now int64, addr uint64, write, transferOnBus bool) int64
 	} else {
 		m.stats.RowHits++
 	}
+	// The bank is occupied from the access's arbitration grant through its
+	// row work (precharge/activate on a miss) and the column command slot.
+	b.busy += t - rowWorkStart + m.cfg.TCCD
 
 	// Column command at t, data after CAS latency, serialised on the bus.
 	dataStart := t + m.cfg.TCL
 	if transferOnBus {
+		if wait := c.busFreeAt - dataStart; wait > 0 {
+			c.busStall += wait
+		}
 		dataStart = max64(dataStart, c.busFreeAt)
 	}
 	done := dataStart + m.cfg.TBURST

@@ -272,3 +272,78 @@ func TestEarliestStartQueries(t *testing.T) {
 		t.Fatalf("single-bank batch earliest start %d, want bank ready %d", got, m.BankFreeAt(0))
 	}
 }
+
+func TestLedgerAttribution(t *testing.T) {
+	cfg := DDR3_1333()
+	cfg.Channels = 1
+	cfg.BanksPerChannel = 2
+	m := MustNew(cfg)
+
+	// Same-bank back-to-back reads: the second arrives one cycle in and
+	// must wait for the first's activate + column slot.
+	m.Read(0, 0)
+	m.Read(1, 64)
+	// A read to the other bank proceeds in parallel, but its data burst
+	// finds the bus still draining the first read's burst.
+	m.Read(1, uint64(cfg.RowBytes))
+
+	led := m.Ledger()
+	if len(led) != 1 || len(led[0].Banks) != 2 {
+		t.Fatalf("ledger shape %d channels / %d banks, want 1/2", len(led), len(led[0].Banks))
+	}
+	b0 := led[0].Banks[0]
+	if want := cfg.TRCD + cfg.TCCD - 1; b0.Stall != want {
+		t.Fatalf("bank 0 stall = %d, want tRCD+tCCD-1 = %d", b0.Stall, want)
+	}
+	// Busy: the first access pays tRCD (activate) + tCCD, the second (row
+	// hit) only its column slot.
+	if want := cfg.TRCD + 2*cfg.TCCD; b0.Busy != want {
+		t.Fatalf("bank 0 busy = %d, want %d", b0.Busy, want)
+	}
+	if led[0].BusBusy != 3*cfg.TBURST {
+		t.Fatalf("bus busy = %d, want 3*tBURST = %d", led[0].BusBusy, 3*cfg.TBURST)
+	}
+	// Bank 1's activate starts at cycle 1, so its data is ready at
+	// 1+tRCD+tCL while the bus frees after both bank-0 bursts at
+	// tRCD+tCL+2*tBURST: a 2*tBURST-1 cycle wait.
+	if want := 2*cfg.TBURST - 1; led[0].BusStall != want {
+		t.Fatalf("bus stall = %d, want 2*tBURST-1 = %d", led[0].BusStall, want)
+	}
+	if led[0].Banks[1].Stall != 0 {
+		t.Fatalf("bank 1 stalled %d cycles, want 0", led[0].Banks[1].Stall)
+	}
+}
+
+func TestLedgerPureObservation(t *testing.T) {
+	// The attribution counters must never feed back into timing: two
+	// identical access sequences complete identically whether or not the
+	// ledger is read in between.
+	addrs := []uint64{0, 64, 8192 * 16, 128, 8192 * 32}
+	a, b := MustNew(DDR3_1333()), MustNew(DDR3_1333())
+	var da, db []int64
+	for _, addr := range addrs {
+		da = append(da, a.Read(0, addr))
+		_ = a.Ledger()
+		db = append(db, b.Read(0, addr))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("reading the ledger changed timing: access %d %d != %d", i, da[i], db[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("reading the ledger changed stats: %+v != %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestLedgerOffBusReadsSkipBus(t *testing.T) {
+	m := MustNew(DDR3_1333())
+	done := make([]int64, 2)
+	m.ReadBatchOffBus(0, []uint64{0, 64}, done)
+	led := m.Ledger()
+	for ch := range led {
+		if led[ch].BusBusy != 0 || led[ch].BusStall != 0 {
+			t.Fatalf("off-bus reads reserved bus cycles on channel %d: %+v", ch, led[ch])
+		}
+	}
+}

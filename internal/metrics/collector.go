@@ -10,6 +10,9 @@ type Options struct {
 	// TraceCapacity bounds the trace ring buffer (<= 0 selects
 	// DefaultTraceCapacity). Ignored unless Tracing.
 	TraceCapacity int
+	// Ledger enables the cycle-attribution ledger (per-stage and
+	// per-resource cycle accounting with the conservation invariant).
+	Ledger bool
 }
 
 // Collector gathers one run's observability data. It is wired through the
@@ -37,7 +40,13 @@ type Collector struct {
 	// was requested.
 	Trace *Recorder
 
+	// Ledger is the cycle-attribution ledger; nil unless requested. A
+	// nil ledger no-ops, so probe sites need no flag of their own.
+	Ledger *Ledger
+
 	counters map[string]uint64
+
+	live liveState
 }
 
 // New builds an enabled collector.
@@ -51,6 +60,9 @@ func New(o Options) *Collector {
 	}
 	if o.Tracing {
 		c.Trace = NewRecorder(o.TraceCapacity)
+	}
+	if o.Ledger {
+		c.Ledger = &Ledger{}
 	}
 	return c
 }

@@ -9,11 +9,16 @@ import (
 
 // Schema identifies the metrics JSON layout. Bump on incompatible change.
 //
-// v2 reports carry the multi-requestor front end's observability: per-core
-// request-latency series (req_latency.coreN), the queue_depth series, and
-// the queue.* counters. Every v1 field survives unchanged, so DecodeReport
-// still reads v1 files — the new series and counters are simply absent.
-const Schema = "shadowblock-metrics/v2"
+// v3 reports carry the cycle-attribution ledger: the per-stage
+// attribution table, the shared-resource table, and the per-channel /
+// per-bank DRAM breakdown, all under the new top-level "ledger" key.
+// Every v2 field survives unchanged, so DecodeReport still reads v2 (and
+// v1) files — the ledger is simply absent.
+const Schema = "shadowblock-metrics/v3"
+
+// SchemaV2 is the pre-ledger layout (multi-requestor front end series and
+// counters), still accepted by DecodeReport.
+const SchemaV2 = "shadowblock-metrics/v2"
 
 // SchemaV1 is the pre-front-end layout, still accepted by DecodeReport.
 const SchemaV1 = "shadowblock-metrics/v1"
@@ -42,6 +47,9 @@ type Report struct {
 	Latency  map[string]LatencyReport `json:"latency"`
 	Series   []SeriesReport           `json:"series"`
 	Counters map[string]uint64        `json:"counters,omitempty"`
+	// Ledger is the cycle-attribution table (new in v3); nil when the
+	// ledger was disabled for the run.
+	Ledger *LedgerReport `json:"ledger,omitempty"`
 }
 
 // Report digests the collector into its exportable form. labels annotate
@@ -84,23 +92,24 @@ func (c *Collector) Report(cycles int64, labels map[string]string) *Report {
 			r.Counters[k] = v
 		}
 	}
+	r.Ledger = c.Ledger.Report()
 	return r
 }
 
 // DecodeReport reads a metrics JSON report, accepting the current schema
-// and every older one it remains compatible with (v1: a strict subset of
-// v2, so nothing needs rewriting). Unknown schemas are an error — better
-// than silently misreading a future layout.
+// and every older one it remains compatible with (v1 and v2 are strict
+// subsets of v3, so nothing needs rewriting). Unknown schemas are an
+// error — better than silently misreading a future layout.
 func DecodeReport(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("metrics: decode report: %w", err)
 	}
 	switch rep.Schema {
-	case Schema, SchemaV1:
+	case Schema, SchemaV2, SchemaV1:
 		return &rep, nil
 	default:
-		return nil, fmt.Errorf("metrics: unknown report schema %q (want %q or %q)", rep.Schema, Schema, SchemaV1)
+		return nil, fmt.Errorf("metrics: unknown report schema %q (want %q, %q or %q)", rep.Schema, Schema, SchemaV2, SchemaV1)
 	}
 }
 

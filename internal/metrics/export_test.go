@@ -61,11 +61,48 @@ func TestDecodeReportAcceptsV1(t *testing.T) {
 	}
 }
 
-func TestDecodeReportRoundTripsV2(t *testing.T) {
-	c := New(Options{})
+// A report written by the v2 tooling (front-end series and counters, no
+// ledger section).
+const v2Report = `{
+  "schema": "shadowblock-metrics/v2",
+  "labels": {"bench": "mcf", "scheme": "dynamic-3-pipe-c4-core4"},
+  "cycles": 123456,
+  "latency": {},
+  "series": [
+    {
+      "name": "req_latency.core0",
+      "window_cycles": 10000,
+      "summary": {"windows": 1, "mean": 500, "stddev": 0, "min": 500, "max": 500, "p50": 500},
+      "points": [{"start": 0, "mean": 500, "min": 500, "max": 500, "count": 1}]
+    }
+  ],
+  "counters": {"queue.issued": 9, "queue.coalesced": 2}
+}`
+
+func TestDecodeReportAcceptsV2(t *testing.T) {
+	r, err := DecodeReport(strings.NewReader(v2Report))
+	if err != nil {
+		t.Fatalf("v2 report rejected: %v", err)
+	}
+	if r.Schema != SchemaV2 {
+		t.Fatalf("schema = %q, want %q", r.Schema, SchemaV2)
+	}
+	if r.Counters["queue.coalesced"] != 2 {
+		t.Fatalf("counters mangled: %+v", r.Counters)
+	}
+	if r.Ledger != nil {
+		t.Fatalf("v2 report grew a ledger out of nothing: %+v", r.Ledger)
+	}
+}
+
+func TestDecodeReportRoundTripsV3(t *testing.T) {
+	c := New(Options{Ledger: true})
 	c.ReqForward.Record(100)
 	c.Observe("queue_depth", 50, 3)
 	c.Count("queue.issued", 7)
+	c.Ledger.RecordAccess(10, 20, 60, 10, 100)
+	c.Ledger.RecordCoalesced(40)
+	c.Ledger.AddResource(ResWritebackDrain, 25)
 	rep := c.Report(5000, map[string]string{"bench": "x"})
 	if rep.Schema != Schema {
 		t.Fatalf("fresh report schema = %q, want %q", rep.Schema, Schema)
@@ -76,13 +113,34 @@ func TestDecodeReportRoundTripsV2(t *testing.T) {
 	}
 	back, err := DecodeReport(&buf)
 	if err != nil {
-		t.Fatalf("v2 round trip rejected: %v", err)
+		t.Fatalf("v3 round trip rejected: %v", err)
 	}
 	if back.Counters["queue.issued"] != 7 {
 		t.Fatalf("queue.issued = %d, want 7", back.Counters["queue.issued"])
 	}
 	if len(back.Series) != 1 || back.Series[0].Name != "queue_depth" {
 		t.Fatalf("series mangled: %+v", back.Series)
+	}
+	if back.Ledger == nil {
+		t.Fatal("ledger section missing after round trip")
+	}
+	if back.Ledger.Requests != 1 || back.Ledger.Coalesced != 1 || back.Ledger.Violations != 0 {
+		t.Fatalf("ledger digest mangled: %+v", back.Ledger)
+	}
+	if back.Ledger.ForwardCycles != 90+40 || back.Ledger.CompleteCycles != 100 {
+		t.Fatalf("ledger totals mangled: %+v", back.Ledger)
+	}
+	var path *StageEntry
+	for i := range back.Ledger.Stages {
+		if back.Ledger.Stages[i].Stage == "path_read" {
+			path = &back.Ledger.Stages[i]
+		}
+	}
+	if path == nil || path.Cycles != 60 {
+		t.Fatalf("path_read stage mangled: %+v", back.Ledger.Stages)
+	}
+	if len(back.Ledger.Resources) != 1 || back.Ledger.Resources[0].Resource != "writeback_drain" {
+		t.Fatalf("resources mangled: %+v", back.Ledger.Resources)
 	}
 }
 

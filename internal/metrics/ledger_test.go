@@ -1,0 +1,77 @@
+package metrics
+
+import "testing"
+
+func TestLedgerConservationArithmetic(t *testing.T) {
+	var l Ledger
+	l.RecordAccess(5, 10, 80, 15, 110)
+	l.RecordAccess(0, 0, 40, 0, 40)
+	if v := l.Violations(); v != 0 {
+		t.Fatalf("conserving records produced %d violations", v)
+	}
+	if got := l.StageCycles(StageQueueWait) + l.StageCycles(StagePosmapWalk) +
+		l.StageCycles(StagePathRead) + l.StageCycles(StageEvictDrain); got != l.CompleteCycles() {
+		t.Fatalf("stage cycles %d do not sum to complete cycles %d", got, l.CompleteCycles())
+	}
+	if l.ForwardCycles() != 110-15+40 {
+		t.Fatalf("forward cycles = %d, want %d", l.ForwardCycles(), 110-15+40)
+	}
+
+	// A record that does not telescope must be flagged, not absorbed.
+	l.RecordAccess(1, 1, 1, 1, 5)
+	if v := l.Violations(); v != 1 {
+		t.Fatalf("non-conserving record produced %d violations, want 1", v)
+	}
+}
+
+func TestLedgerCoalescedAndResources(t *testing.T) {
+	var l Ledger
+	l.RecordCoalesced(30)
+	l.RecordCoalesced(12)
+	l.AddResource(ResReserveStall, 7)
+	l.AddResource(ResReserveStall, 3)
+	if l.Requests() != 0 {
+		t.Fatalf("coalesced records counted as primaries: %d", l.Requests())
+	}
+	if l.StageCycles(StageCoalesce) != 42 || l.ForwardCycles() != 42 {
+		t.Fatalf("coalesce accounting wrong: stage %d forward %d", l.StageCycles(StageCoalesce), l.ForwardCycles())
+	}
+	if l.ResourceCycles(ResReserveStall) != 10 {
+		t.Fatalf("resource cycles = %d, want 10", l.ResourceCycles(ResReserveStall))
+	}
+}
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.RecordAccess(1, 2, 3, 4, 10)
+	l.RecordCoalesced(5)
+	l.NoteStashUpdate()
+	l.AddResource(ResWritebackDrain, 9)
+	if l.Report() != nil || l.Requests() != 0 || l.Violations() != 0 {
+		t.Fatal("nil ledger accumulated state")
+	}
+}
+
+func TestLedgerReportShape(t *testing.T) {
+	var l Ledger
+	if l.Report() != nil {
+		t.Fatal("empty ledger produced a report")
+	}
+	l.RecordAccess(0, 10, 90, 0, 100)
+	l.NoteStashUpdate()
+	r := l.Report()
+	if r == nil || len(r.Stages) != int(NumStages) {
+		t.Fatalf("report has %d stages, want %d", len(r.Stages), NumStages)
+	}
+	for _, s := range r.Stages {
+		if s.Stage == "unknown" {
+			t.Fatalf("unnamed stage in report: %+v", r.Stages)
+		}
+		if s.Stage == "stash_update" && (s.Count != 1 || s.Cycles != 0) {
+			t.Fatalf("stash_update must be counted with zero cycles: %+v", s)
+		}
+	}
+	if len(r.Resources) != 0 {
+		t.Fatalf("untouched resources exported: %+v", r.Resources)
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import "sync/atomic"
+
+// Live introspection: the simulation publishes immutable point-in-time
+// snapshots of its observability state, and the debug endpoint
+// (/debug/shadow, see debug.go) serves the latest one from any goroutine.
+// Publishing is the only cross-thread hand-off — a snapshot is built
+// single-threaded by the simulation loop, then swapped in atomically — so
+// the collector itself stays single-writer and observation stays free.
+
+// LiveSnapshot is one point-in-time view of a running simulation, the
+// JSON body served by /debug/shadow.
+type LiveSnapshot struct {
+	// Cycles is the simulated cycle at which the snapshot was taken.
+	Cycles int64 `json:"cycles"`
+	// Requests is the number of ORAM requests recorded so far.
+	Requests uint64 `json:"requests"`
+
+	// Front-end state: MSHRs in flight and cumulative traffic.
+	QueueDepth     int    `json:"queue_depth"`
+	QueueIssued    uint64 `json:"queue_issued"`
+	QueueOnChip    uint64 `json:"queue_onchip"`
+	QueueCoalesced uint64 `json:"queue_coalesced"`
+
+	// ChannelUtil is each DRAM channel's data-bus utilisation so far
+	// (reserved burst cycles over elapsed simulated time).
+	ChannelUtil []float64 `json:"channel_util,omitempty"`
+
+	// Forward / Complete digest the request latency histograms so far.
+	Forward  LatencySummary `json:"forward"`
+	Complete LatencySummary `json:"complete"`
+
+	// Counters is a copy of the named counters.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+
+	// Ledger is the cycle-attribution table so far; nil when the ledger
+	// is disabled.
+	Ledger *LedgerReport `json:"ledger,omitempty"`
+}
+
+// liveState holds the atomically-swapped latest snapshot.
+type liveState struct {
+	snap atomic.Pointer[LiveSnapshot]
+}
+
+// PublishLive completes s with the collector's own state (latency
+// digests, counters, ledger) and installs it as the latest snapshot. The
+// caller fills the fields only it knows (cycles, queue state, channel
+// utilisation) and must not touch s afterwards.
+func (c *Collector) PublishLive(s *LiveSnapshot) {
+	if c == nil || s == nil {
+		return
+	}
+	s.Requests = c.ReqForward.Count()
+	s.Forward = c.ReqForward.Summary()
+	s.Complete = c.ReqComplete.Summary()
+	if len(c.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(c.counters))
+		for k, v := range c.counters {
+			s.Counters[k] = v
+		}
+	}
+	s.Ledger = c.Ledger.Report()
+	c.live.snap.Store(s)
+}
+
+// Live returns the latest published snapshot (nil when none has been
+// published yet). Safe from any goroutine.
+func (c *Collector) Live() *LiveSnapshot {
+	if c == nil {
+		return nil
+	}
+	return c.live.snap.Load()
+}

@@ -106,3 +106,76 @@ func TestWriteTraceEmptyAndNil(t *testing.T) {
 		t.Fatal("nil recorder not inert")
 	}
 }
+
+func TestRecorderWrapMultipleLaps(t *testing.T) {
+	// Several full laps around the ring: the counters must keep exact
+	// totals and the survivors must be exactly the newest cap events.
+	const ringCap = 8
+	r := NewRecorder(ringCap)
+	const n = 5*ringCap + 3
+	for i := int64(0); i < n; i++ {
+		r.Counter("depth", 0, i, map[string]any{"v": i})
+	}
+	if r.Len() != ringCap || r.Total() != n || r.Dropped() != n-ringCap {
+		t.Fatalf("len/total/dropped = %d/%d/%d, want %d/%d/%d",
+			r.Len(), r.Total(), r.Dropped(), ringCap, n, n-ringCap)
+	}
+	for i, e := range r.Events() {
+		if want := int64(n - ringCap + i); e.TS != want {
+			t.Fatalf("survivor %d has ts %d, want %d", i, e.TS, want)
+		}
+	}
+}
+
+func TestRecorderEventsSortedAcrossWrapSeam(t *testing.T) {
+	// Span starts are not monotone in record order (a request span is
+	// emitted at completion with its issue-time timestamp), so after a
+	// wrap the raw ring is doubly out of order: rotated AND locally
+	// unsorted. Events must still come back globally sorted by timestamp.
+	r := NewRecorder(4)
+	for _, ts := range []int64{100, 90, 300, 250, 500, 410} {
+		r.Span("request", "oram", 0, ts, ts+50, nil)
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TS < ev[i-1].TS {
+			t.Fatalf("events out of order after wrap: %d before %d", ev[i-1].TS, ev[i].TS)
+		}
+	}
+	if ev[0].TS != 250 || ev[3].TS != 500 {
+		t.Fatalf("wrong survivors: first %d last %d", ev[0].TS, ev[3].TS)
+	}
+}
+
+func TestWriteTraceAfterWrapStillValidJSON(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 20; i++ {
+		r.Span("request", "oram", 0, i*10, i*10+5, map[string]any{"req": i})
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("test premise broken: nothing dropped")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf, map[string]string{"bench": "wrap"}); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("post-wrap trace invalid JSON: %v", err)
+	}
+	// Only the ring's survivors are written, in timestamp order.
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("traceEvents = %d, want 4", len(f.TraceEvents))
+	}
+	last := -1.0
+	for _, e := range f.TraceEvents {
+		ts := e["ts"].(float64)
+		if ts < last {
+			t.Fatalf("exported events out of order: %v after %v", ts, last)
+		}
+		last = ts
+	}
+}

@@ -429,16 +429,38 @@ func (c *Controller) ReadBlock(now int64, addr uint32) ([]byte, Outcome) {
 	return data, out
 }
 
+// ledger returns the collector's cycle-attribution ledger (nil when
+// metrics are detached or the ledger is disabled; a nil ledger no-ops).
+func (c *Controller) ledger() *metrics.Ledger {
+	if c.mc == nil {
+		return nil
+	}
+	return c.mc.Ledger
+}
+
 // observeRequest feeds the observability layer after one LLC request:
-// latency histograms, epoch time-series, and — when tracing — the
-// request's lifecycle events (issue span, serve span, forward/stash-hit
-// instant, stash-occupancy counter). pmStart/pmEnd/pmN describe the
-// position-map walk (pmN = 0 when it was satisfied on-chip or for stash
-// hits). Pure reads only: the simulated timing is already decided.
+// latency histograms, epoch time-series, the cycle-attribution ledger,
+// and — when tracing — the request's lifecycle events (issue span, serve
+// span, forward/stash-hit instant, stash-occupancy counter).
+// pmStart/pmEnd/pmN describe the position-map walk (pmN = 0 when it was
+// satisfied on-chip or for stash hits). Pure reads only: the simulated
+// timing is already decided.
 func (c *Controller) observeRequest(issue int64, addr uint32, write bool, out Outcome, viaShadow bool, pmStart, pmEnd int64, pmN int) {
 	mc := c.mc
 	mc.ReqForward.Record(out.Forward - issue)
 	mc.ReqComplete.Record(out.Done - issue)
+
+	// Ledger attribution: the request's end-to-end latency decomposes into
+	// telescoping legs — presentation to serve start (queue wait), the
+	// posmap walk, the walk's end to the data forward (path read), and
+	// forward to completion (eviction drain). The legs are differences of
+	// the cycle stamps the engine already decided, so they sum bit-exactly
+	// back to out.Done-issue; Ledger.RecordAccess verifies that.
+	queueWait := out.Start - issue
+	posmap := pmEnd - pmStart
+	pathRead := (out.Forward - out.Start) - posmap
+	evictDrain := out.Done - out.Forward
+	mc.Ledger.RecordAccess(queueWait, posmap, pathRead, evictDrain, out.Done-issue)
 	hit := 0.0
 	if viaShadow {
 		hit = 1
@@ -482,15 +504,54 @@ func (c *Controller) observeRequest(issue int64, addr uint32, write bool, out Ou
 	}
 	tr.Counter("stash", tidRequest, out.Done,
 		map[string]any{"real": occ.Real, "shadow": occ.Shadow})
+
+	// Ledger lane: the attribution legs as spans, so Perfetto shows where
+	// each request's cycles went without decoding the JSON report.
+	if queueWait > 0 {
+		tr.Span("stage.queue_wait", "ledger", tidLedger, issue, out.Start,
+			map[string]any{"req": id})
+	}
+	if evictDrain > 0 {
+		tr.Span("stage.evict_drain", "ledger", tidLedger, out.Forward, out.Done,
+			map[string]any{"req": id})
+	}
+	if led := mc.Ledger; led != nil {
+		tr.Counter("ledger", tidLedger, out.Done, map[string]any{
+			"queue_wait":  led.StageCycles(metrics.StageQueueWait),
+			"posmap":      led.StageCycles(metrics.StagePosmapWalk),
+			"path_read":   led.StageCycles(metrics.StagePathRead),
+			"evict_drain": led.StageCycles(metrics.StageEvictDrain),
+		})
+	}
 }
 
+// ChannelUtil returns each DRAM channel's cumulative bus utilisation at
+// cycle now (reserved burst cycles over elapsed time). Nil before cycle 1.
+func (c *Controller) ChannelUtil(now int64) []float64 {
+	if now <= 0 {
+		return nil
+	}
+	out := make([]float64, c.mem.NumChannels())
+	for ch := range out {
+		out[ch] = float64(c.mem.ChannelBusy(ch)) / float64(now)
+	}
+	return out
+}
+
+// MemLedger exposes the DRAM model's per-channel / per-bank cycle
+// attribution (for the metrics report's ledger section).
+func (c *Controller) MemLedger() []dram.ChannelLedger { return c.mem.Ledger() }
+
 // Trace lanes: requests on one Perfetto track, background work (evictions,
-// timing-protection dummies) on another, and — in channel mode — one track
-// per DRAM channel (tidChannel0 + ch) carrying that channel's sub-batches.
+// timing-protection dummies) on another, in channel mode one track per DRAM
+// channel (tidChannel0 + ch) carrying that channel's sub-batches, and the
+// cycle-attribution stage spans on their own high-numbered track so they
+// sort below the functional lanes.
 const (
 	tidRequest    = 0
 	tidBackground = 1
 	tidChannel0   = 2
+	tidLedger     = 64
 )
 
 func max64(a, b int64) int64 {

@@ -2,6 +2,7 @@ package oram
 
 import (
 	"shadowblock/internal/block"
+	"shadowblock/internal/metrics"
 	"shadowblock/internal/stash"
 )
 
@@ -42,6 +43,9 @@ func (c *Controller) evictRetireSerial(_ uint32, _, writeEnd int64) int64 {
 // wbDrain so the next path read may overlap it.
 func (c *Controller) evictRetirePipelined(leaf uint32, readEnd, writeEnd int64) int64 {
 	c.wbDrain = writeEnd
+	if drain := writeEnd - readEnd; drain > 0 {
+		c.ledger().AddResource(metrics.ResWritebackDrain, drain)
+	}
 	if c.mc != nil && c.mc.Trace != nil {
 		c.mc.Trace.Span("evict.writeback", "oram", tidBackground, readEnd, writeEnd,
 			map[string]any{"leaf": leaf})

@@ -1,6 +1,9 @@
 package oram
 
-import "shadowblock/internal/dram"
+import (
+	"shadowblock/internal/dram"
+	"shadowblock/internal/metrics"
+)
 
 // Path-read stage: stage the off-chip slot addresses of one path, decide
 // when the batch may enter the memory system (readIssue binding: serial
@@ -71,9 +74,14 @@ func (c *Controller) readIssuePipelined(start int64) int64 {
 	if free := c.mem.EarliestBatchStart(c.addrBuf); free > issue {
 		issue = free
 	}
+	led := c.ledger()
+	if stall := issue - start; stall > 0 {
+		led.AddResource(metrics.ResReserveStall, stall)
+	}
 	if ov := c.wbDrain - issue; ov > 0 {
 		c.stats.PipelinedReads++
 		c.stats.OverlapCycles += uint64(ov)
+		led.AddResource(metrics.ResWritebackOverlap, ov)
 		c.mc.Observe("wb_overlap", issue, float64(ov))
 	} else if c.mc != nil {
 		c.mc.Observe("wb_overlap", issue, 0)

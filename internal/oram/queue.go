@@ -45,7 +45,13 @@ type Queue struct {
 
 	mc         *metrics.Collector
 	coreSeries []string // req_latency.coreN, precomputed
+	observed   uint64   // samples since start, drives live-snapshot cadence
 }
+
+// livePeriod is how many latency observations pass between published live
+// snapshots: frequent enough that /debug/shadow tracks a run, rare enough
+// that snapshot allocation stays off the hot path.
+const livePeriod = 256
 
 // mshr is one in-flight miss: the address it fetches and when its data
 // forwards / its triggered work completes.
@@ -119,6 +125,7 @@ func (q *Queue) Issue(now int64, core int, addr uint32, write bool) (forward, do
 		if e := &q.live[i]; e.addr == addr && now < e.forward {
 			q.stats.Coalesced++
 			q.mc.Count("queue.coalesced", 1)
+			q.ctrl.ledger().RecordCoalesced(e.forward - now)
 			q.observe(now, core, e.forward-now)
 			return e.forward, e.done
 		}
@@ -155,12 +162,32 @@ func (q *Queue) prune(now int64) {
 	q.live = kept
 }
 
-// observe records the per-core latency sample and the queue depth. Pure
-// reads of decided timing: attaching a collector never changes a run.
+// observe records the per-core latency sample and the queue depth, and
+// periodically publishes a live snapshot for /debug/shadow. Pure reads of
+// decided timing: attaching a collector never changes a run.
 func (q *Queue) observe(now int64, core int, lat int64) {
 	if q.mc == nil {
 		return
 	}
 	q.mc.Observe(q.coreSeries[core], now, float64(lat))
 	q.mc.Observe("queue_depth", now, float64(len(q.live)))
+	q.observed++
+	if q.observed%livePeriod == 0 {
+		q.publishLive(now)
+	}
+}
+
+// publishLive assembles the front end's view of the running simulation —
+// queue state and DRAM channel utilisation — and hands it to the collector,
+// which completes it with its own digests and installs it for the debug
+// endpoint.
+func (q *Queue) publishLive(now int64) {
+	q.mc.PublishLive(&metrics.LiveSnapshot{
+		Cycles:         now,
+		QueueDepth:     len(q.live),
+		QueueIssued:    q.stats.Issued,
+		QueueOnChip:    q.stats.OnChip,
+		QueueCoalesced: q.stats.Coalesced,
+		ChannelUtil:    q.ctrl.ChannelUtil(now),
+	})
 }

@@ -12,6 +12,7 @@ import (
 // installs a write's payload, captures the functional read payload, and
 // parks posmap fetches in the PLB.
 func (c *Controller) stashUpdate(addr uint32, write, parkInPLB bool) {
+	c.ledger().NoteStashUpdate()
 	newLabel := uint32(c.labelRNG.Uint64n(uint64(c.geo.NumLeaves())))
 	c.pos.SetLabel(addr, newLabel)
 	if _, ok := c.st.Lookup(addr); !ok {

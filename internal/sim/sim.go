@@ -181,7 +181,29 @@ func Run(spec Spec) (Metrics, error) {
 		m.MeanPartition = pol.MeanPartition()
 	}
 	finishObservation(spec, &m)
+	attachMemLedger(&m, ctrl.MemLedger())
 	return m, nil
+}
+
+// attachMemLedger converts the DRAM model's per-channel/per-bank cycle
+// attribution into the report's ledger section. The metrics package stays
+// free of a dram dependency; the sim layer, which owns both, bridges them.
+// No-op when the run was uninstrumented or the ledger recorded nothing.
+func attachMemLedger(m *Metrics, led []dram.ChannelLedger) {
+	if m.Obs == nil || m.Obs.Ledger == nil {
+		return
+	}
+	out := make([]metrics.DRAMChannelReport, len(led))
+	for ch, cl := range led {
+		r := metrics.DRAMChannelReport{Channel: ch, BusBusy: cl.BusBusy, BusStall: cl.BusStall}
+		for _, b := range cl.Banks {
+			r.BankBusy += b.Busy
+			r.BankStall += b.Stall
+			r.Banks = append(r.Banks, metrics.DRAMBankReport{Busy: b.Busy, Stall: b.Stall})
+		}
+		out[ch] = r
+	}
+	m.Obs.Ledger.DRAM = out
 }
 
 // finishObservation digests the run's collector into the metrics, labelled

@@ -252,3 +252,117 @@ func TestRunRejectsOversizedFootprint(t *testing.T) {
 		t.Fatalf("error %q should name the footprint and the minimum L", err)
 	}
 }
+
+// TestLedgerConservation pins the cycle-attribution ledger's accounting
+// identities on a real run: every request's stage entries telescope
+// bit-exactly to its latency (Violations == 0), the stage totals sum to the
+// exact issue-to-done cycle total, and both totals reconcile with the
+// latency histograms' exact sums. Pipelined multi-core mode exercises every
+// attribution site (queue wait, coalescing, reserve stalls, writeback
+// overlap and drain).
+func TestLedgerConservation(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Refs = 2500
+	spec.ORAM.Pipeline = true
+	spec.CPU.Cores = 2
+	spec.Metrics = metrics.New(metrics.Options{Ledger: true})
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Obs == nil || m.Obs.Ledger == nil {
+		t.Fatal("ledger enabled but no ledger report")
+	}
+	led := m.Obs.Ledger
+
+	if led.Violations != 0 {
+		t.Fatalf("%d requests failed the bit-exact per-request conservation check", led.Violations)
+	}
+	if led.Requests == 0 || led.Requests != m.ReqLatency.Count {
+		t.Fatalf("ledger recorded %d requests, latency histogram %d", led.Requests, m.ReqLatency.Count)
+	}
+	if led.Requests != m.ORAM.Requests {
+		t.Fatalf("ledger requests %d != controller requests %d", led.Requests, m.ORAM.Requests)
+	}
+
+	// Stage totals must sum to the exact issue-to-done total: no cycle
+	// charged twice, none dropped.
+	var stageSum int64
+	for _, s := range led.Stages {
+		if s.Stage == "coalesce" {
+			continue // coalesced waits are issue-to-forward, not part of the primary sum
+		}
+		stageSum += s.Cycles
+	}
+	if stageSum != led.CompleteCycles {
+		t.Fatalf("stage totals %d != complete cycles %d", stageSum, led.CompleteCycles)
+	}
+
+	// And the ledger's exact sums must agree with the histograms' exact
+	// sums: the two observation paths see the same timing.
+	if got := spec.Metrics.ReqComplete.Sum(); led.CompleteCycles != got {
+		t.Fatalf("ledger complete cycles %d != histogram sum %d", led.CompleteCycles, got)
+	}
+	if got := spec.Metrics.ReqForward.Sum() + led.Stage("coalesce").Cycles; led.ForwardCycles != got {
+		t.Fatalf("ledger forward cycles %d != histogram sum + coalesce %d", led.ForwardCycles, got)
+	}
+
+	// The stash-update stage is counted but charged zero cycles by design.
+	if su := led.Stage("stash_update"); su.Count == 0 || su.Cycles != 0 {
+		t.Fatalf("stash_update stage = %+v, want positive count and zero cycles", su)
+	}
+	// Pipelined mode must attribute the background writeback drain.
+	found := false
+	for _, r := range led.Resources {
+		if r.Resource == "writeback_drain" && r.Cycles > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pipelined run attributed no writeback drain: %+v", led.Resources)
+	}
+	// The DRAM breakdown covers every channel and accounts real bus work.
+	if len(led.DRAM) != spec.ORAM.DRAM.Channels {
+		t.Fatalf("DRAM breakdown has %d channels, config %d", len(led.DRAM), spec.ORAM.DRAM.Channels)
+	}
+	var busBusy int64
+	for _, ch := range led.DRAM {
+		busBusy += ch.BusBusy
+		if len(ch.Banks) != spec.ORAM.DRAM.BanksPerChannel {
+			t.Fatalf("channel %d reports %d banks, config %d", ch.Channel, len(ch.Banks), spec.ORAM.DRAM.BanksPerChannel)
+		}
+	}
+	if busBusy == 0 {
+		t.Fatal("DRAM breakdown attributed no bus cycles")
+	}
+}
+
+// TestLedgerObservationIsFree asserts the attribution layer's core
+// contract: every simulated cycle count is bit-identical whether the ledger
+// is enabled, disabled, or the run is fully uninstrumented.
+func TestLedgerObservationIsFree(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Refs = 2500
+	spec.ORAM.Pipeline = true
+	spec.CPU.Cores = 2
+
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]metrics.Options{
+		"ledger-off": {Ledger: false},
+		"ledger-on":  {Ledger: true},
+	}
+	for name, opts := range runs {
+		spec.Metrics = metrics.New(opts)
+		got, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != plain.Cycles || got.DataAccess != plain.DataAccess || got.DRI != plain.DRI ||
+			got.ORAM != plain.ORAM || got.CPU != plain.CPU || got.Mem != plain.Mem || got.Queue != plain.Queue {
+			t.Fatalf("%s changed the run:\nplain    %+v\nobserved %+v", name, plain, got)
+		}
+	}
+}
