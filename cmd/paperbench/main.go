@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,10 +46,45 @@ func main() {
 	cores := flag.Int("cores", 0, "run the observation cell with N issuing cores (same as a -coreN scheme suffix)")
 	debugAddr := flag.String("debug", "", "serve the live debug mux (/debug/pprof, /debug/vars, /debug/shadow) on this address")
 	pprofAddr := flag.String("pprof", "", "alias for -debug (kept for compatibility)")
+	par := flag.Int("par", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *debugAddr == "" {
 		*debugAddr = *pprofAddr
+	}
+	experiments.SetParallelism(*par)
+
+	// File-based profiles for batch runs: the live -debug mux profiles a
+	// running sweep interactively, but CI and scripted before/after
+	// comparisons want artifacts on disk.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: memprofile:", err)
+			}
+		}()
 	}
 
 	// The observation cell's collector doubles as the /debug/shadow data

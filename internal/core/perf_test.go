@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"shadowblock/internal/oram"
+	"shadowblock/internal/rng"
+)
+
+// Hot-path pins for the shadow-block policy. The duplication queues run
+// inside every path write, so the policy — not just the bare controller —
+// must hold the request path's zero-allocation and throughput properties.
+
+// warmShadow builds a dynamic-partition shadow ORAM and drives it past the
+// cold-start region (stash converges, Hot Address Cache fills, the
+// candidate arena and queues reach steady-state capacity).
+func warmShadow(tb testing.TB) (*oram.Controller, *rng.Xoshiro, int64) {
+	tb.Helper()
+	cfg := oram.Default()
+	cfg.L = 10
+	cfg.StashCapacity = 120
+	ctrl, _, err := New(cfg, Dynamic(3))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rng.NewXoshiro(42)
+	n := uint64(cfg.NumDataBlocks())
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		out := ctrl.Request(now, uint32(r.Uint64n(n)), i%4 == 0)
+		now = out.Done + 10
+	}
+	return ctrl, r, now
+}
+
+func BenchmarkShadowRequestWarm(b *testing.B) {
+	ctrl, r, now := warmShadow(b)
+	n := uint64(ctrl.NumDataBlocks())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := ctrl.Request(now, uint32(r.Uint64n(n)), i%4 == 0)
+		now = out.Done + 10
+	}
+}
+
+// TestShadowRequestZeroAlloc extends the oram package's allocation gate to
+// the duplication policy: a warmed shadow ORAM must not allocate per
+// request — the candidate arena, queues, and Hot Address Cache all reuse
+// their steady-state storage.
+func TestShadowRequestZeroAlloc(t *testing.T) {
+	ctrl, r, now := warmShadow(t)
+	n := uint64(ctrl.NumDataBlocks())
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		out := ctrl.Request(now, uint32(r.Uint64n(n)), i%4 == 0)
+		now = out.Done + 10
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("shadow request path allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -107,12 +107,13 @@ func (c Config) Validate() error {
 type candidate struct {
 	addr     uint32
 	label    uint32
+	isect    int    // IntersectLevel(label, path leaf): Rule-1 bound
 	srcLevel int    // the real copy's tree level: Rule-2 bound
 	effLevel int    // shallowest copy so far: RD-Dup priority
 	count    uint64 // Hot Address Cache count: HD-Dup priority
 	seq      int    // eviction order (later = higher tie-break priority)
-	rdStamp  uint32 // lazy-deletion stamps for the two queues
-	hdStamp  uint32
+	rdPos    int32  // node positions in the two queues; -1 = not queued
+	hdPos    int32
 }
 
 // Policy implements oram.DupPolicy.
@@ -129,12 +130,14 @@ type Policy struct {
 	havePrev   bool
 
 	// Per-path-write state (the paper's RD-queue and HD-queue, cleared
-	// after each write).
-	cands map[uint32]*candidate
-	rd    candHeap
-	hd    candHeap
+	// after each write). Candidates live in a reused arena; the map and
+	// queue nodes hold indices into it.
+	leaf  uint32 // the path currently being written
+	arena []candidate
+	cands map[uint32]int32
+	rd    candQueue
+	hd    candQueue
 	seq   int
-	tmp   []heapNode
 
 	// Statistics.
 	rdShadows, hdShadows uint64
@@ -184,9 +187,9 @@ func newUnbound(pcfg Config) (*Policy, error) {
 	return &Policy{
 		cfg:   pcfg,
 		hac:   cache.NewHotAddrCache(pcfg.HotEntries, pcfg.HotWays),
-		cands: make(map[uint32]*candidate),
-		rd:    candHeap{kind: byLevel},
-		hd:    candHeap{kind: byCount},
+		cands: make(map[uint32]int32),
+		rd:    candQueue{kind: byLevel},
+		hd:    candQueue{kind: byCount},
 	}, nil
 }
 
@@ -247,37 +250,47 @@ func (p *Policy) MeanPartition() float64 {
 // BeginPathWrite implements oram.DupPolicy: it seeds the RD/HD queues with
 // the stash's resident shadow blocks (§V-B: "shadow blocks in the stash,
 // which can be evicted, are also inserted into the queues").
-func (p *Policy) BeginPathWrite(uint32) {
+func (p *Policy) BeginPathWrite(leaf uint32) {
 	p.reset()
+	// Rule-1 intersections are against this write's path throughout, so
+	// each candidate's is computed once, when its label is known.
+	p.leaf = leaf
 	p.st.ForEachShadow(func(e stash.Entry) {
-		c := &candidate{
-			addr:     e.Meta.Addr,
-			label:    e.Meta.Label,
-			srcLevel: int(e.Meta.SrcLevel),
-			effLevel: int(e.Meta.SrcLevel),
-			count:    p.hac.Count(e.Meta.Addr),
-			seq:      p.seq,
-		}
+		idx := p.newCandidate(e.Meta.Addr)
+		c := &p.arena[idx]
+		c.label = e.Meta.Label
+		c.isect = p.geo.IntersectLevel(c.label, leaf)
+		c.srcLevel = int(e.Meta.SrcLevel)
+		c.effLevel = int(e.Meta.SrcLevel)
+		c.count = p.hac.Count(e.Meta.Addr)
+		c.seq = p.seq
 		p.seq++
-		p.cands[c.addr] = c
-		p.push(c)
+		p.push(idx)
 	})
 }
 
 func (p *Policy) reset() {
-	for k := range p.cands {
-		delete(p.cands, k)
-	}
+	clear(p.cands)
+	p.arena = p.arena[:0]
 	p.rd.nodes = p.rd.nodes[:0]
 	p.hd.nodes = p.hd.nodes[:0]
 	p.seq = 0
 }
 
-func (p *Policy) push(c *candidate) {
-	c.rdStamp++
-	p.rd.push(heapNode{c: c, stamp: c.rdStamp, prio: rdPrio(c)})
-	c.hdStamp++
-	p.hd.push(heapNode{c: c, stamp: c.hdStamp, prio: hdPrio(c)})
+// newCandidate appends a fresh unqueued candidate for addr to the arena and
+// indexes it. The returned index stays valid across arena growth; pointers
+// into the arena do not, so callers re-derive them after any append.
+func (p *Policy) newCandidate(addr uint32) int32 {
+	idx := int32(len(p.arena))
+	p.arena = append(p.arena, candidate{addr: addr, rdPos: -1, hdPos: -1})
+	p.cands[addr] = idx
+	return idx
+}
+
+func (p *Policy) push(idx int32) {
+	c := &p.arena[idx]
+	p.rd.put(idx, &c.rdPos, rdPrio(c))
+	p.hd.put(idx, &c.hdPos, hdPrio(c))
 }
 
 // NoteEvict implements oram.DupPolicy. Real placements create candidates;
@@ -287,31 +300,31 @@ func (p *Policy) push(c *candidate) {
 func (p *Policy) NoteEvict(m block.Meta, level int) {
 	switch m.Kind {
 	case block.Real:
-		c := p.cands[m.Addr]
-		if c == nil {
-			c = &candidate{addr: m.Addr}
-			p.cands[m.Addr] = c
+		idx, ok := p.cands[m.Addr]
+		if !ok {
+			idx = p.newCandidate(m.Addr)
 		}
+		c := &p.arena[idx]
 		c.label = m.Label
+		c.isect = p.geo.IntersectLevel(c.label, p.leaf)
 		c.srcLevel = level
 		c.effLevel = level
 		c.count = p.hac.Count(m.Addr)
 		c.seq = p.seq
 		p.seq++
-		p.push(c)
+		p.push(idx)
 	case block.Shadow:
-		c := p.cands[m.Addr]
-		if c == nil {
+		idx, ok := p.cands[m.Addr]
+		if !ok {
 			return
 		}
+		c := &p.arena[idx]
 		if level < c.effLevel {
 			c.effLevel = level
-			c.rdStamp++
-			p.rd.push(heapNode{c: c, stamp: c.rdStamp, prio: rdPrio(c)})
+			p.rd.put(idx, &c.rdPos, rdPrio(c))
 		}
 		c.count >>= 1
-		c.hdStamp++
-		p.hd.push(heapNode{c: c, stamp: c.hdStamp, prio: hdPrio(c)})
+		p.hd.put(idx, &c.hdPos, hdPrio(c))
 	}
 }
 
@@ -320,11 +333,11 @@ func (p *Policy) NoteEvict(m block.Meta, level int) {
 // and Rules 1–2.
 func (p *Policy) SelectDup(leaf uint32, level int) (block.Meta, bool) {
 	useHD := level < p.partition
-	h := &p.rd
+	q := &p.rd
 	if useHD {
-		h = &p.hd
+		q = &p.hd
 	}
-	c := p.popValid(h, leaf, level, useHD)
+	c := p.popValid(q, level, useHD)
 	if c == nil {
 		return block.Meta{}, false
 	}
@@ -344,37 +357,53 @@ func (p *Policy) SelectDup(leaf uint32, level int) (block.Meta, bool) {
 	return m, true
 }
 
-// popValid pops candidates until one satisfies the rules at (leaf, level):
-// Rule-1 — the candidate's label must pass through this bucket; Rule-2 —
-// the slot must be strictly above the real copy; and, for RD-Dup, the slot
+// popValid removes and returns the highest-priority candidate satisfying
+// the rules at (leaf, level): Rule-1 — the candidate's label must pass
+// through this bucket (precomputed as candidate.isect, since leaf is the
+// path given to BeginPathWrite for every slot of one write); Rule-2 — the
+// slot must be strictly above the real copy; and, for RD-Dup, the slot
 // must actually improve the candidate's effective level. Rejected
-// candidates are kept for shallower slots.
-func (p *Policy) popValid(h *candHeap, leaf uint32, level int, useHD bool) *candidate {
-	p.tmp = p.tmp[:0]
-	var chosen *candidate
-	for len(h.nodes) > 0 {
-		n := h.pop()
-		if h.stale(n) {
+// candidates stay queued for shallower slots.
+//
+// One linear scan finds the winner. Priorities of distinct candidates
+// never tie (the sequence number is unique per candidate), so "the node
+// with the maximum priority" is unambiguous, and a node already at or
+// below the running best is skipped without evaluating the rules.
+func (p *Policy) popValid(q *candQueue, level int, useHD bool) *candidate {
+	nodes := q.nodes
+	best := -1
+	var bestPrio int64
+	for i, n := range nodes {
+		if best >= 0 && n.prio <= bestPrio {
 			continue
 		}
-		c := n.c
+		c := &p.arena[n.cand]
 		// HD-Dup accepts zero-count candidates (the paper initialises
 		// absent addresses to priority zero); RD-Dup additionally demands
 		// the slot improve the candidate's effective arrival level.
 		if level < c.srcLevel &&
 			(useHD || level < c.effLevel) &&
-			p.geo.IntersectLevel(c.label, leaf) >= level {
-			chosen = c
-			// The chosen node is consumed; NoteEvict will re-stamp and
-			// re-queue the candidate at its new priority.
-			break
+			c.isect >= level {
+			best = i
+			bestPrio = n.prio
 		}
-		p.tmp = append(p.tmp, n)
 	}
-	for _, n := range p.tmp {
-		h.push(n)
+	if best < 0 {
+		return nil
 	}
-	return chosen
+	// The chosen node is consumed; NoteEvict will re-queue the candidate
+	// at its new priority. The last node backfills the hole, and both
+	// affected candidates' recorded positions follow.
+	chosen := nodes[best].cand
+	last := len(nodes) - 1
+	if best != last {
+		nodes[best] = nodes[last]
+		*q.posOf(&p.arena[nodes[best].cand]) = int32(best)
+	}
+	q.nodes = nodes[:last]
+	c := &p.arena[chosen]
+	*q.posOf(c) = -1
+	return c
 }
 
 // EndPathWrite implements oram.DupPolicy: both queues are cleared after the

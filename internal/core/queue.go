@@ -1,0 +1,69 @@
+package core
+
+// The RD-queue and HD-queue (§V-B) are priority queues over duplication
+// candidates. Priorities change as shadows are created (Fig. 4), so the
+// queues must support re-prioritising a queued candidate.
+//
+// The queues are small — a path write's candidates are the stash's resident
+// shadows plus the blocks the write evicts, a few hundred at most — and the
+// only selection the policy needs is "remove the highest-priority node that
+// passes Rules 1–2 at this slot". An unordered slice scanned linearly beats
+// a binary heap here: pushes are plain appends, a re-queue overwrites the
+// candidate's node in place (each candidate records its position, so there
+// are no dead nodes to skip), the scan reads 16-byte nodes sequentially,
+// and rejected candidates simply stay put instead of being popped, buffered,
+// and sifted back in. The heap variant spent ~45% of whole-simulation CPU
+// time on that churn plus lazy-deletion bookkeeping.
+//
+// Nodes refer to candidates by index into the policy's per-write arena
+// rather than by pointer, so one path write reuses the previous write's
+// storage instead of allocating a candidate per eviction.
+
+type queueKind uint8
+
+const (
+	byLevel queueKind = iota // RD-queue: deepest effective level first
+	byCount                  // HD-queue: highest access count first
+)
+
+type queueNode struct {
+	prio int64
+	cand int32 // index into the policy's candidate arena
+}
+
+// candQueue is an unordered bag of queueNodes, one per queued candidate;
+// selection happens by scan in Policy.popValid.
+type candQueue struct {
+	kind  queueKind
+	nodes []queueNode
+}
+
+// posOf returns the candidate's position slot for this queue.
+func (q *candQueue) posOf(c *candidate) *int32 {
+	if q.kind == byLevel {
+		return &c.rdPos
+	}
+	return &c.hdPos
+}
+
+// put queues candidate idx at the given priority, or re-prioritises its
+// existing node in place. pos must be the candidate's position slot for
+// this queue.
+func (q *candQueue) put(idx int32, pos *int32, prio int64) {
+	if *pos >= 0 {
+		q.nodes[*pos].prio = prio
+		return
+	}
+	*pos = int32(len(q.nodes))
+	q.nodes = append(q.nodes, queueNode{prio: prio, cand: idx})
+}
+
+// rdPrio orders by effective level (deepest first), breaking ties by
+// eviction order — the block loaded/evicted later wins, matching the
+// paper's Fig. 4 footnote about intra-bucket order. Priorities of distinct
+// candidates never collide: the sequence number is unique per candidate
+// within a path write.
+func rdPrio(c *candidate) int64 { return int64(c.effLevel)<<32 | int64(c.seq) }
+
+// hdPrio orders by Hot Address Cache count, same tie-break.
+func hdPrio(c *candidate) int64 { return int64(c.count)<<20 | int64(c.seq) }

@@ -104,21 +104,29 @@ type Result struct {
 
 type coreState struct {
 	id          int
-	trace       []trace.Access
-	idx         int
-	ready       int64   // when the core can consider its next reference
-	lastForward int64   // data-return time of the most recent miss
-	outstanding []int64 // forward times of in-flight misses (OOO)
+	src         trace.Source
+	pending     trace.Access // next reference, prefetched
+	hasWork     bool         // pending is valid
+	ready       int64        // when the core can consider its next reference
+	lastForward int64        // data-return time of the most recent miss
+	outstanding []int64      // forward times of in-flight misses (OOO ring, cap MLP)
+	outHead     int
+	outLen      int
 	l1          *cache.Cache
 	miss        *metrics.Histogram // per-core miss latency; nil when metrics off
 }
 
-// step retires the core's next trace reference against the shared L2 and
+// fetch prefetches the core's next reference from its source.
+func (c *coreState) fetch() {
+	c.pending, c.hasWork = c.src.Next()
+}
+
+// step retires the core's prefetched reference against the shared L2 and
 // the memory system, and returns the cycle by which its effects are fully
 // visible (used to extend the run's completion time).
 func (c *coreState) step(cfg Config, l2 *cache.Cache, mem CoreMemory, res *Result) int64 {
-	acc := c.trace[c.idx]
-	c.idx++
+	acc := c.pending
+	c.fetch()
 	res.References++
 
 	now := c.ready + int64(acc.Gap)
@@ -183,13 +191,24 @@ func (c *coreState) step(cfg Config, l2 *cache.Cache, mem CoreMemory, res *Resul
 
 	if cfg.OOO {
 		// Bounded MLP: wait for the oldest miss when the window is full.
-		if len(c.outstanding) >= cfg.MLP {
-			now = max64(now, c.outstanding[0])
-			c.outstanding = c.outstanding[1:]
+		// The window is a fixed ring — slicing-and-appending would
+		// reallocate a fresh backing array every MLP misses.
+		if c.outLen >= cfg.MLP {
+			now = max64(now, c.outstanding[c.outHead])
+			c.outHead++
+			if c.outHead == cfg.MLP {
+				c.outHead = 0
+			}
+			c.outLen--
 		}
 		forward, _ := mem.Issue(now, c.id, acc.Block, acc.Write)
 		c.miss.Record(forward - now)
-		c.outstanding = append(c.outstanding, forward)
+		tail := c.outHead + c.outLen
+		if tail >= cfg.MLP {
+			tail -= cfg.MLP
+		}
+		c.outstanding[tail] = forward
+		c.outLen++
 		c.lastForward = forward
 		c.ready = now // issue more work while the miss is in flight
 		return forward
@@ -208,17 +227,66 @@ func Run(cfg Config, traces [][]trace.Access, mem Memory) (Result, error) {
 	return RunCores(cfg, traces, memoryAdapter{mem})
 }
 
-// RunCores plays one trace per core against mem and returns aggregate
-// counters. Cores interleave by readiness — the scheduler steps whichever
-// core is ready earliest, ties to the lowest core index — so the memory
-// system sees a deterministic (cycle, core)-ordered request stream and
-// serialises or coalesces the misses itself.
+// RunSourcesMemory is RunSources against a core-blind memory system.
+func RunSourcesMemory(cfg Config, srcs []trace.Source, mem Memory) (Result, error) {
+	return RunSources(cfg, srcs, memoryAdapter{mem})
+}
+
+// RunCores plays one materialised trace per core against mem. It wraps
+// each slice as a trace.Source; callers that can generate lazily should
+// use RunSources directly and skip materialising the traces.
 func RunCores(cfg Config, traces [][]trace.Access, mem CoreMemory) (Result, error) {
+	srcs := make([]trace.Source, len(traces))
+	for i, tr := range traces {
+		srcs[i] = trace.NewSliceSource(tr)
+	}
+	return RunSources(cfg, srcs, mem)
+}
+
+// coreLess is the scheduler's arbitration order: earliest ready cycle
+// first, lowest core index on ties — exactly the order the documented
+// (cycle, core) request stream requires.
+func coreLess(a, b *coreState) bool {
+	return a.ready < b.ready || (a.ready == b.ready && a.id < b.id)
+}
+
+// siftDown restores the min-heap property at index i.
+func siftDown(h []*coreState, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && coreLess(h[r], h[l]) {
+			m = r
+		}
+		if !coreLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// RunSources plays one reference source per core against mem and returns
+// aggregate counters. Cores interleave by readiness — the scheduler steps
+// whichever core is ready earliest, ties to the lowest core index — so the
+// memory system sees a deterministic (cycle, core)-ordered request stream
+// and serialises or coalesces the misses itself.
+//
+// The scheduler keeps the runnable cores in an index min-heap keyed on
+// (ready, core index): each step peeks the root, advances that core, and
+// re-sinks it (or removes it when its source is dry) — O(log cores) per
+// reference where the previous linear scan was O(cores). The heap's
+// comparator is the scan's strict-< arbitration, so the request stream is
+// bit-identical (TestMultiCoreDeterministic and the serial goldens pin it).
+func RunSources(cfg Config, srcs []trace.Source, mem CoreMemory) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	if len(traces) != cfg.Cores {
-		return Result{}, fmt.Errorf("cpu: %d traces for %d cores", len(traces), cfg.Cores)
+	if len(srcs) != cfg.Cores {
+		return Result{}, fmt.Errorf("cpu: %d trace sources for %d cores", len(srcs), cfg.Cores)
 	}
 	l2, err := cache.New(cfg.L2Bytes, cfg.LineBytes, cfg.L2Ways)
 	if err != nil {
@@ -230,35 +298,42 @@ func RunCores(cfg Config, traces [][]trace.Access, mem CoreMemory) (Result, erro
 		if err != nil {
 			return Result{}, err
 		}
-		cores[i] = &coreState{id: i, trace: traces[i], l1: l1}
+		cores[i] = &coreState{id: i, src: srcs[i], l1: l1, outstanding: make([]int64, cfg.MLP)}
+		cores[i].fetch()
 		if cfg.Metrics != nil {
 			cores[i].miss = metrics.NewHistogram()
 		}
 	}
 
+	h := make([]*coreState, 0, cfg.Cores)
+	for _, cs := range cores {
+		if cs.hasWork {
+			h = append(h, cs)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+
 	var res Result
 	var last int64
-	for {
-		// Pick the ready core with work remaining; strict < keeps the
-		// lowest-index core on ties.
-		var c *coreState
-		for _, cs := range cores {
-			if cs.idx >= len(cs.trace) {
-				continue
-			}
-			if c == nil || cs.ready < c.ready {
-				c = cs
-			}
-		}
-		if c == nil {
-			break
-		}
+	for len(h) > 0 {
+		c := h[0]
 		last = max64(last, c.step(cfg, l2, mem, &res))
+		if !c.hasWork {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(h, 0)
 	}
 	// Drain outstanding misses.
 	for _, cs := range cores {
-		for _, f := range cs.outstanding {
-			last = max64(last, f)
+		for k := 0; k < cs.outLen; k++ {
+			i := cs.outHead + k
+			if i >= cfg.MLP {
+				i -= cfg.MLP
+			}
+			last = max64(last, cs.outstanding[i])
 		}
 	}
 	if cfg.Metrics != nil {

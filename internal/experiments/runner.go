@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -182,14 +183,67 @@ func (r Runner) Observe(p trace.Profile, cpuCfg cpu.Config, s Scheme, col *metri
 	return m, err
 }
 
+// parallelism is the sweep worker-count override set by SetParallelism;
+// 0 means "use GOMAXPROCS(0)".
+var parallelism int
+
+// SetParallelism caps the number of worker goroutines RunMatrix and parMap
+// use (paperbench's -par flag). n <= 0 restores the default, GOMAXPROCS(0).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism = n
+}
+
+// sweepWorkers returns the worker count for a sweep of n units: the
+// SetParallelism override when set, else GOMAXPROCS(0) — not NumCPU, so
+// -cpu-restricted test runs and quota-limited CI containers don't
+// oversubscribe — and never more workers than units.
+func sweepWorkers(n int) int {
+	w := parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // cell identifies one unit of work in a parallel sweep.
 type cell struct {
 	wl     int
 	scheme int
 }
 
+// costWeight estimates a scheme's relative simulation cost per workload
+// reference — only the ordering matters, it never affects results. ORAM
+// cells dominate insecure ones by an order of magnitude (every LLC miss
+// becomes a multi-level posmap walk plus a path read), timing protection
+// adds a dummy stream, and each extra issuing core multiplies the
+// reference count.
+func (s Scheme) costWeight(defaultCores int) int {
+	cores := defaultCores
+	if s.Cores > 0 {
+		cores = s.Cores
+	}
+	w := cores
+	if !s.Insecure {
+		w *= 10
+		if s.TP {
+			w += w / 2
+		}
+	}
+	return w
+}
+
 // RunMatrix evaluates every workload × scheme cell in parallel and returns
-// metrics indexed as [workload][scheme].
+// metrics indexed as [workload][scheme]. Cells are fed to the workers
+// longest-first (by estimated cost, original order on ties): a sweep's
+// tail is bounded by its slowest single cell, so the expensive
+// full-geometry multi-core cells must start first rather than serialise
+// behind the barrier after the cheap ones finish.
 func (r Runner) RunMatrix(cpuCfg cpu.Config, schemes []Scheme) ([][]sim.Metrics, error) {
 	out := make([][]sim.Metrics, len(r.Workloads))
 	for i := range out {
@@ -201,16 +255,17 @@ func (r Runner) RunMatrix(cpuCfg cpu.Config, schemes []Scheme) ([][]sim.Metrics,
 			cells = append(cells, cell{w, s})
 		}
 	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		return schemes[cells[i].scheme].costWeight(cpuCfg.Cores) >
+			schemes[cells[j].scheme].costWeight(cpuCfg.Cores)
+	})
 	var (
 		mu      sync.Mutex
 		firstEr error
 		wg      sync.WaitGroup
 	)
 	work := make(chan cell)
-	workers := runtime.NumCPU()
-	if workers > len(cells) {
-		workers = len(cells)
-	}
+	workers := sweepWorkers(len(cells))
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -243,7 +298,8 @@ func (r Runner) RunMatrix(cpuCfg cpu.Config, schemes []Scheme) ([][]sim.Metrics,
 	return out, firstEr
 }
 
-// parMap runs fn(0..n-1) across NumCPU workers and returns the first error.
+// parMap runs fn(0..n-1) across the sweep worker pool and returns the
+// first error.
 func parMap(n int, fn func(i int) error) error {
 	var (
 		mu      sync.Mutex
@@ -251,10 +307,7 @@ func parMap(n int, fn func(i int) error) error {
 		wg      sync.WaitGroup
 	)
 	work := make(chan int)
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
+	workers := sweepWorkers(n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

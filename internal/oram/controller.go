@@ -2,7 +2,7 @@ package oram
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"shadowblock/internal/block"
 	"shadowblock/internal/cache"
@@ -561,6 +561,9 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// sortAddrs orders a pool's addresses ascending. slices.Sort rather than
+// sort.Slice: the interface-based sorter allocates a closure and a swapper
+// per call, which was the request path's only steady-state allocation.
 func sortAddrs(a []uint32) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	slices.Sort(a)
 }

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/oram"
+	"shadowblock/internal/trace"
+)
+
+// End-to-end cell benchmarks: B/op here is dominated by per-run setup
+// (controller construction, tree image) now that traces stream and the
+// request path is allocation-free; before the streaming refactor every run
+// also allocated cores × refs Access values up front.
+
+func benchSpec(b *testing.B, cores, refs int) Spec {
+	p, ok := trace.ByName("mcf")
+	if !ok {
+		b.Fatal("missing mcf profile")
+	}
+	// Scale the footprint into the benchmark tree (mcf is 512k blocks;
+	// L=12 holds 16k): same access shape, cheap controller construction.
+	p = p.Scaled(1, 64)
+	cfg := cpu.InOrder()
+	if cores > 1 {
+		cfg = cpu.O3()
+		cfg.Cores = cores
+	}
+	ocfg := oram.Default()
+	ocfg.L = 12
+	return Spec{Profile: p, CPU: cfg, Refs: refs, Seed: 7, ORAM: ocfg}
+}
+
+func BenchmarkRunCell(b *testing.B) {
+	spec := benchSpec(b, 1, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCellQuadCore(b *testing.B) {
+	spec := benchSpec(b, 4, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

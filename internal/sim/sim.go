@@ -85,13 +85,16 @@ func Run(spec Spec) (Metrics, error) {
 	if spec.Refs <= 0 {
 		return Metrics{}, fmt.Errorf("sim: Refs must be positive")
 	}
-	traces := make([][]trace.Access, spec.CPU.Cores)
-	for i := range traces {
-		tr, err := spec.Profile.Generate(spec.Refs, spec.Seed+uint64(i)*1000003)
+	// One pull-based stream per core: the reference sequence is generated
+	// on demand inside the CPU scheduler instead of being materialised up
+	// front (cores × refs Access values — hundreds of MB at full scale).
+	srcs := make([]trace.Source, spec.CPU.Cores)
+	for i := range srcs {
+		s, err := spec.Profile.NewStream(spec.Refs, spec.Seed+uint64(i)*1000003)
 		if err != nil {
 			return Metrics{}, err
 		}
-		traces[i] = tr
+		srcs[i] = s
 	}
 
 	if spec.Insecure {
@@ -101,7 +104,7 @@ func Run(spec Spec) (Metrics, error) {
 		}
 		mem := &insecureMemory{mem: dm, blockBytes: spec.ORAM.BlockBytes}
 		spec.CPU.Metrics = spec.Metrics
-		res, err := cpu.Run(spec.CPU, traces, mem)
+		res, err := cpu.RunSourcesMemory(spec.CPU, srcs, mem)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -154,7 +157,7 @@ func Run(spec Spec) (Metrics, error) {
 	if spec.Metrics != nil {
 		queue.SetMetrics(spec.Metrics)
 	}
-	res, err := cpu.RunCores(spec.CPU, traces, queue)
+	res, err := cpu.RunSources(spec.CPU, srcs, queue)
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -108,76 +108,147 @@ func (p Profile) Validate() error {
 	return nil
 }
 
-// Generate produces n references deterministically from seed.
-func (p Profile) Generate(n int, seed uint64) ([]Access, error) {
+// Source produces memory references one at a time. Next returns the next
+// access and true, or a zero Access and false once the source is
+// exhausted. It is the streaming interface the CPU model consumes: a
+// simulator driving N cores holds N sources and never materialises a
+// trace slice.
+type Source interface {
+	Next() (Access, bool)
+}
+
+// Stream is a pull-based trace generator: the same deterministic sequence
+// Generate produces, one access per Next call, in O(1) memory. A
+// full-scale multi-core run used to front-load cores × refs Access values
+// (hundreds of MB at paperbench scale); a Stream is a few words of
+// generator state.
+type Stream struct {
+	p Profile
+	r *rng.Xoshiro
+	i int // references produced so far
+	n int // references this stream yields in total
+
+	loop       int
+	streamBase uint32
+	streamOff  uint32
+	zipfExp    float64
+	runPos     uint32
+	runLeft    int
+}
+
+// NewStream returns a stream yielding exactly n references from seed —
+// byte-for-byte the sequence Generate(n, seed) returns (Generate is
+// implemented on top of Stream; TestStreamMatchesGenerate pins it).
+func (p Profile) NewStream(n int, seed uint64) (*Stream, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	r := rng.NewXoshiro(seed ^ 0x5bd1e995)
-	out := make([]Access, n)
-
-	loop := p.FootprintBlocks
-	if p.StreamLoopBlocks > 0 && p.StreamLoopBlocks < loop {
-		loop = p.StreamLoopBlocks
+	s := &Stream{p: p, n: n, r: rng.NewXoshiro(seed ^ 0x5bd1e995)}
+	s.loop = p.FootprintBlocks
+	if p.StreamLoopBlocks > 0 && p.StreamLoopBlocks < s.loop {
+		s.loop = p.StreamLoopBlocks
 	}
-	streamBase := uint32(p.FootprintBlocks - loop)
-	streamOff := uint32(r.Intn(loop))
-	zipfExp := 1.0
+	s.streamBase = uint32(p.FootprintBlocks - s.loop)
+	s.streamOff = uint32(s.r.Intn(s.loop))
+	s.zipfExp = 1.0
 	if p.ZipfTheta > 0 {
-		zipfExp = 1 / (1 - p.ZipfTheta)
+		s.zipfExp = 1 / (1 - p.ZipfTheta)
 	}
+	return s, nil
+}
+
+// Remaining returns how many references the stream will still produce.
+func (s *Stream) Remaining() int { return s.n - s.i }
+
+// Next produces the stream's next reference; false once n references have
+// been drawn.
+func (s *Stream) Next() (Access, bool) {
+	if s.i >= s.n {
+		return Access{}, false
+	}
+	p := &s.p
+	r := s.r
+	phaseOdd := p.PhaseLen > 0 && (s.i/p.PhaseLen)%2 == 1
 	const hotShift = 0 // the hot core is stable; phases modulate gaps only
-	var runPos uint32
-	runLeft := 0
 
+	var blk uint32
+	nt := false
+	switch u := r.Float64(); {
+	case s.runLeft > 0:
+		s.runLeft--
+		s.runPos = (s.runPos + 1) % uint32(p.FootprintBlocks)
+		blk = s.runPos
+	case u < p.StreamFraction:
+		s.streamOff = (s.streamOff + 1) % uint32(s.loop)
+		blk = s.streamBase + s.streamOff
+	case p.HotBlocks > 0 && u < p.StreamFraction+(1-p.StreamFraction)*p.HotFraction:
+		// Zipf-distributed rank within the hot set.
+		rank := int(float64(p.HotBlocks) * math.Pow(r.Float64(), s.zipfExp))
+		if rank >= p.HotBlocks {
+			rank = p.HotBlocks - 1
+		}
+		if p.HotConflict {
+			blk = uint32((conflictAddr(rank, p.FootprintBlocks) + hotShift) % p.FootprintBlocks)
+		} else {
+			blk = uint32((rank + hotShift) % p.FootprintBlocks)
+		}
+		nt = r.Float64() < p.HotNonTemporal
+	default:
+		blk = uint32(r.Intn(p.FootprintBlocks))
+	}
+	if p.SpatialRun > 1 && s.runLeft == 0 && r.Intn(2) == 0 {
+		// Start a sequential run of geometric mean SpatialRun from blk.
+		s.runLeft = 1 + r.Intn(2*p.SpatialRun-1)
+		s.runPos = blk
+	}
+
+	gap := p.MeanGap/2 + r.Intn(p.MeanGap+1)
+	if phaseOdd && p.PhaseGapMult > 0 {
+		gap = int(float64(gap) * p.PhaseGapMult)
+	}
+
+	s.i++
+	return Access{
+		Block:       blk,
+		Write:       r.Float64() < p.WriteFraction,
+		Gap:         int32(gap),
+		Dep:         r.Float64() < p.PointerChase,
+		NonTemporal: nt,
+	}, true
+}
+
+// Generate produces n references deterministically from seed. It drains a
+// Stream into a slice; callers that replay a trace many times (tracegen,
+// figure replays) want the slice, the simulator itself streams.
+func (p Profile) Generate(n int, seed uint64) ([]Access, error) {
+	s, err := p.NewStream(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Access, n)
 	for i := range out {
-		phaseOdd := p.PhaseLen > 0 && (i/p.PhaseLen)%2 == 1
-
-		var blk uint32
-		nt := false
-		switch u := r.Float64(); {
-		case runLeft > 0:
-			runLeft--
-			runPos = (runPos + 1) % uint32(p.FootprintBlocks)
-			blk = runPos
-		case u < p.StreamFraction:
-			streamOff = (streamOff + 1) % uint32(loop)
-			blk = streamBase + streamOff
-		case p.HotBlocks > 0 && u < p.StreamFraction+(1-p.StreamFraction)*p.HotFraction:
-			// Zipf-distributed rank within the hot set.
-			rank := int(float64(p.HotBlocks) * math.Pow(r.Float64(), zipfExp))
-			if rank >= p.HotBlocks {
-				rank = p.HotBlocks - 1
-			}
-			if p.HotConflict {
-				blk = uint32((conflictAddr(rank, p.FootprintBlocks) + hotShift) % p.FootprintBlocks)
-			} else {
-				blk = uint32((rank + hotShift) % p.FootprintBlocks)
-			}
-			nt = r.Float64() < p.HotNonTemporal
-		default:
-			blk = uint32(r.Intn(p.FootprintBlocks))
-		}
-		if p.SpatialRun > 1 && runLeft == 0 && r.Intn(2) == 0 {
-			// Start a sequential run of geometric mean SpatialRun from blk.
-			runLeft = 1 + r.Intn(2*p.SpatialRun-1)
-			runPos = blk
-		}
-
-		gap := p.MeanGap/2 + r.Intn(p.MeanGap+1)
-		if phaseOdd && p.PhaseGapMult > 0 {
-			gap = int(float64(gap) * p.PhaseGapMult)
-		}
-
-		out[i] = Access{
-			Block:       blk,
-			Write:       r.Float64() < p.WriteFraction,
-			Gap:         int32(gap),
-			Dep:         r.Float64() < p.PointerChase,
-			NonTemporal: nt,
-		}
+		out[i], _ = s.Next()
 	}
 	return out, nil
+}
+
+// SliceSource adapts a materialised trace to the Source interface.
+type SliceSource struct {
+	a []Access
+	i int
+}
+
+// NewSliceSource wraps a trace slice as a Source.
+func NewSliceSource(a []Access) *SliceSource { return &SliceSource{a: a} }
+
+// Next returns the slice's next access.
+func (s *SliceSource) Next() (Access, bool) {
+	if s.i >= len(s.a) {
+		return Access{}, false
+	}
+	a := s.a[s.i]
+	s.i++
+	return a, true
 }
 
 // conflictAddr maps a hot-set rank onto a 2048-line stride (the span of
