@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff base.json new.json                 # markdown delta to stdout
-//	benchdiff -gate 0 base.json new.json         # exit 1 on regressions / cell drift
+//	benchdiff -gate 0 base.json new.json         # exit 1 on regressions / removed cells
 //	benchdiff -json delta.json base.json new.json
 //	benchdiff -merge out.json name=report.json [name=report.json ...]
 //
@@ -19,23 +19,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"shadowblock/internal/bench"
-	"shadowblock/internal/metrics"
 )
 
 func main() {
-	gate := flag.Float64("gate", -1, "fail (exit 1) when any cell regresses beyond this percent, or cells appear/disappear (-1 = report only)")
+	gate := flag.Float64("gate", -1, "fail (exit 1) when any cell regresses beyond this percent or a baseline cell disappears; cells new to this bundle pass (-1 = report only)")
 	jsonOut := flag.String("json", "", "additionally write the delta as JSON to this file ('-' = stdout instead of markdown)")
 	merge := flag.String("merge", "", "assemble a bundle at this path from name=report.json arguments instead of diffing")
 	label := flag.String("label", "", "comma-separated key=value labels to stamp on a merged bundle")
 	flag.Parse()
 
 	if *merge != "" {
-		if err := mergeBundle(*merge, *label, flag.Args()); err != nil {
+		b, err := bench.Merge(*merge, *label, flag.Args())
+		if err != nil {
 			fatal(err)
 		}
+		fmt.Printf("benchdiff: wrote %d cells to %s\n", len(b.Cells), *merge)
 		return
 	}
 
@@ -81,61 +81,11 @@ func main() {
 	}
 
 	if *gate >= 0 && d.Regressed() {
+		for _, name := range d.Removed() {
+			fmt.Fprintf(os.Stderr, "benchdiff: cell %q is in the baseline but missing from the new bundle\n", name)
+		}
 		fmt.Fprintf(os.Stderr, "benchdiff: regression gate failed (tolerance %.3f%%)\n", *gate)
 		os.Exit(1)
-	}
-}
-
-// mergeBundle assembles name=report.json arguments into one bundle file.
-func mergeBundle(out, labels string, args []string) error {
-	if len(args) == 0 {
-		return fmt.Errorf("merge: no name=report.json arguments")
-	}
-	b := bench.NewBundle()
-	if labels != "" {
-		b.Labels = make(map[string]string)
-		for _, kv := range strings.Split(labels, ",") {
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return fmt.Errorf("merge: label %q is not key=value", kv)
-			}
-			b.Labels[k] = v
-		}
-	}
-	for _, arg := range args {
-		name, path, ok := strings.Cut(arg, "=")
-		if !ok {
-			return fmt.Errorf("merge: argument %q is not name=report.json", arg)
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		rep, err := metrics.DecodeReport(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if _, dup := b.Cells[name]; dup {
-			return fmt.Errorf("merge: duplicate cell name %q", name)
-		}
-		slim(rep)
-		b.Add(name, rep)
-	}
-	if err := b.WriteFile(out); err != nil {
-		return err
-	}
-	fmt.Printf("benchdiff: wrote %d cells to %s\n", len(b.Cells), out)
-	return nil
-}
-
-// slim drops the per-window time-series points from a report destined for
-// a committed bundle: the diff reads totals, percentiles and the ledger,
-// and the summaries keep the per-series digests, so the points only bloat
-// the repository.
-func slim(rep *metrics.Report) {
-	for i := range rep.Series {
-		rep.Series[i].Points = nil
 	}
 }
 

@@ -44,6 +44,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "run the observation cell on the pipelined request engine")
 	channels := flag.Int("channels", 0, "run the observation cell on the N-channel memory system (same as a -cN scheme suffix)")
 	cores := flag.Int("cores", 0, "run the observation cell with N issuing cores (same as a -coreN scheme suffix)")
+	wb := flag.String("wb", "", "writeback scheduler of the observation cell: coupled | decoupled (same as a -wbd scheme suffix)")
 	debugAddr := flag.String("debug", "", "serve the live debug mux (/debug/pprof, /debug/vars, /debug/shadow) on this address")
 	pprofAddr := flag.String("pprof", "", "alias for -debug (kept for compatibility)")
 	par := flag.Int("par", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
@@ -111,7 +112,7 @@ func main() {
 	}
 
 	if col != nil {
-		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *cores, *metricsOut, *traceOut, col); err != nil {
+		if err := observe(r, *obsBench, *obsScheme, *pipeline, *channels, *cores, *wb, *metricsOut, *traceOut, col); err != nil {
 			fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func main() {
 
 // observe runs the single instrumented (bench, scheme) cell and writes its
 // metrics report and/or Chrome trace.
-func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels, cores int, metricsOut, traceOut string, col *metrics.Collector) error {
+func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels, cores int, wb, metricsOut, traceOut string, col *metrics.Collector) error {
 	p, ok := trace.ByName(bench)
 	if !ok {
 		return fmt.Errorf("observe: unknown benchmark %q", bench)
@@ -189,6 +190,18 @@ func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels
 	}
 	if cores > 0 {
 		s.Cores = cores
+	}
+	switch wb {
+	case "":
+	case "coupled":
+		s.WBDecoupled = false
+	case "decoupled":
+		if s.Insecure {
+			return fmt.Errorf("observe: the insecure baseline has no writeback path to decouple")
+		}
+		s.WBDecoupled = true
+	default:
+		return fmt.Errorf("observe: unknown -wb value %q (want coupled or decoupled)", wb)
 	}
 	start := time.Now()
 	m, err := r.Observe(p, cpu.InOrder(), s, col)

@@ -35,11 +35,12 @@ import (
 
 func main() {
 	bench := flag.String("bench", "hmmer", "workload: "+strings.Join(trace.Names(), ", "))
-	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with -pipe / -cN suffixes, all with a -coreN suffix")
+	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with -pipe / -cN / -wbd suffixes, all with a -coreN suffix")
 	tp := flag.Bool("tp", false, "enable timing protection (constant-rate requests)")
 	pipeline := flag.Bool("pipeline", false, "pipelined request engine (same as a -pipe scheme suffix)")
 	channels := flag.Int("channels", 0, "multi-channel memory system with channel-interleaved layout (same as a -cN scheme suffix; 0 = legacy)")
 	cores := flag.Int("cores", 0, "cores issuing into the shared memory system (same as a -coreN scheme suffix; 0 = the CPU model's default)")
+	wb := flag.String("wb", "", "writeback scheduler: coupled | decoupled (same as a -wbd scheme suffix; empty = the scheme's default)")
 	refs := flag.Int("refs", 60000, "memory references per core")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	treetop := flag.Int("treetop", 0, "cache the top N tree levels on-chip")
@@ -76,8 +77,21 @@ func main() {
 	if *channels > 0 {
 		ocfg.Channels = *channels
 	}
+	ocfg.WBDecoupled = s.WBDecoupled
+	switch *wb {
+	case "":
+	case "coupled":
+		ocfg.WBDecoupled = false
+	case "decoupled":
+		ocfg.WBDecoupled = true
+	default:
+		fail(fmt.Errorf("unknown -wb value %q (want coupled or decoupled)", *wb))
+	}
 	if s.Insecure && ocfg.Channels > 0 {
 		fail(fmt.Errorf("the insecure baseline has no ORAM layout to interleave"))
+	}
+	if s.Insecure && ocfg.WBDecoupled {
+		fail(fmt.Errorf("the insecure baseline has no writeback path to decouple"))
 	}
 	if *level > 0 {
 		ocfg.L = *level
@@ -126,8 +140,8 @@ func main() {
 	}
 
 	fmt.Printf("workload        %s (%d refs, seed %d)\n", p.Name, *refs, *seed)
-	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v channels=%d cpu=%s cores=%d)\n",
-		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, *cpuType, spec.CPU.Cores)
+	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v channels=%d wb=%s cpu=%s cores=%d)\n",
+		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, wbName(ocfg.WBDecoupled), *cpuType, spec.CPU.Cores)
 	fmt.Printf("total cycles    %d\n", m.Cycles)
 	fmt.Printf("  data access   %d (%.1f%%)\n", m.DataAccess, 100*float64(m.DataAccess)/float64(m.Cycles))
 	fmt.Printf("  DRI           %d (%.1f%%)\n", m.DRI, 100*float64(m.DRI)/float64(m.Cycles))
@@ -148,6 +162,10 @@ func main() {
 		if ocfg.Pipeline {
 			fmt.Printf("pipeline        %d overlapped path reads, %d writeback cycles overlapped\n",
 				o.PipelinedReads, o.OverlapCycles)
+		}
+		if ocfg.WBDecoupled {
+			fmt.Printf("writeback       %d queued, %d slotted, %d forced, %d flushed (max pending %d, %d deferral cycles)\n",
+				o.WBEnqueued, o.WBSlotted, o.WBForced, o.WBFlushed, o.WBMaxPending, o.WBDeferralCycles)
 		}
 		rowRate := "n/a"
 		if rows := m.Mem.RowHits + m.Mem.RowMisses; rows > 0 {
@@ -204,6 +222,13 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "shadowsim:", err)
 	os.Exit(1)
+}
+
+func wbName(decoupled bool) string {
+	if decoupled {
+		return "decoupled"
+	}
+	return "coupled"
 }
 
 func max64(a, b int64) int64 {

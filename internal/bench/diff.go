@@ -116,17 +116,33 @@ func forwardPercentiles(r *metrics.Report) (p50, p99 int64) {
 }
 
 // Regressed reports whether the diff should fail a regression gate: any
-// cell regressed beyond tolerance, or the cell sets diverged (a removed
-// baseline cell silently stops being tested; an added one has no
-// baseline to hold it to — both require a deliberate baseline refresh).
+// cell regressed beyond tolerance, or a baseline cell vanished from the
+// new bundle (a removed cell silently stops being tested — that must fail
+// loudly, not pass). A cell present only in the new bundle does NOT trip
+// the gate: it has no baseline to regress against, and failing on it
+// would make every PR that introduces a cell red before the refreshed
+// baseline can land. Added cells still show up through Changed, which is
+// the refresh-the-baseline signal.
 func (d *Diff) Regressed() bool {
 	for _, c := range d.Cells {
 		switch c.Status {
-		case StatusRegressed, StatusAdded, StatusRemoved:
+		case StatusRegressed, StatusRemoved:
 			return true
 		}
 	}
 	return false
+}
+
+// Removed lists the baseline cells missing from the new bundle — the
+// gate-failure case callers should name loudly.
+func (d *Diff) Removed() []string {
+	var out []string
+	for _, c := range d.Cells {
+		if c.Status == StatusRemoved {
+			out = append(out, c.Name)
+		}
+	}
+	return out
 }
 
 // Changed reports whether anything at all moved — improvements and

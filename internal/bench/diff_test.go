@@ -146,6 +146,9 @@ func TestCompareImprovementPassesGateButReportsChange(t *testing.T) {
 	}
 }
 
+// TestCompareCellSetDivergenceFailsGate mixes an added and a removed
+// cell: the removed cell alone must fail the gate (the added one does
+// not — see the dedicated tests below).
 func TestCompareCellSetDivergenceFailsGate(t *testing.T) {
 	base := NewBundle()
 	base.Add("a", report(1000, 10))
@@ -163,6 +166,49 @@ func TestCompareCellSetDivergenceFailsGate(t *testing.T) {
 	}
 	if status["b"] != StatusRemoved || status["c"] != StatusAdded || status["a"] != StatusUnchanged {
 		t.Fatalf("statuses: %v", status)
+	}
+	if got := d.Removed(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Removed() = %v, want [b]", got)
+	}
+}
+
+// TestCompareAddedCellPassesGate pins the fixed gate semantics: a cell
+// that exists only in the new bundle has no baseline to regress against,
+// so a zero-tolerance gate must wave it through. It still registers as
+// change (the refresh-the-baseline signal).
+func TestCompareAddedCellPassesGate(t *testing.T) {
+	base := NewBundle()
+	base.Add("a", report(1000, 10))
+	cur := NewBundle()
+	cur.Add("a", report(1000, 10))
+	cur.Add("new-cell", report(5000, 10))
+	d := Compare(base, cur, 0)
+	if d.Regressed() {
+		t.Fatal("added cell tripped a zero-tolerance gate")
+	}
+	if !d.Changed() {
+		t.Fatal("added cell not reported as change")
+	}
+	if got := d.Removed(); len(got) != 0 {
+		t.Fatalf("Removed() = %v, want empty", got)
+	}
+}
+
+// TestCompareRemovedCellFailsGate pins the other half: a baseline cell
+// missing from the new bundle silently stops being tested, so it must
+// fail the gate loudly even when everything still present is identical.
+func TestCompareRemovedCellFailsGate(t *testing.T) {
+	base := NewBundle()
+	base.Add("a", report(1000, 10))
+	base.Add("gone", report(2000, 10))
+	cur := NewBundle()
+	cur.Add("a", report(1000, 10))
+	d := Compare(base, cur, 0)
+	if !d.Regressed() {
+		t.Fatal("removed cell passed a zero-tolerance gate")
+	}
+	if got := d.Removed(); len(got) != 1 || got[0] != "gone" {
+		t.Fatalf("Removed() = %v, want [gone]", got)
 	}
 }
 

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shadowblock/internal/metrics"
+)
+
+// Merge assembles name=report.json arguments into one bundle, labelled
+// with comma-separated key=value pairs, and writes it to out. It is the
+// engine behind `benchdiff -merge`.
+//
+// Every argument is validated — syntax, duplicate cell names, and an
+// output path colliding with an input — before any file is opened, so a
+// bad invocation can never truncate one of its own inputs. Decode
+// failures name the offending cell as well as its path: in a CI log full
+// of generated temp paths, the cell name is the part a human recognises.
+func Merge(out, labels string, args []string) (*Bundle, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("merge: no name=report.json arguments")
+	}
+	b := NewBundle()
+	if labels != "" {
+		b.Labels = make(map[string]string)
+		for _, kv := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("merge: label %q is not key=value", kv)
+			}
+			b.Labels[k] = v
+		}
+	}
+
+	type cell struct{ name, path string }
+	cells := make([]cell, 0, len(args))
+	seen := make(map[string]bool, len(args))
+	outClean := filepath.Clean(out)
+	for _, arg := range args {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			return nil, fmt.Errorf("merge: argument %q is not name=report.json", arg)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("merge: duplicate cell name %q", name)
+		}
+		seen[name] = true
+		if filepath.Clean(path) == outClean {
+			return nil, fmt.Errorf("merge: output %s would overwrite input cell %q (%s)", out, name, path)
+		}
+		cells = append(cells, cell{name, path})
+	}
+
+	for _, c := range cells {
+		f, err := os.Open(c.path)
+		if err != nil {
+			return nil, fmt.Errorf("merge: cell %q: %w", c.name, err)
+		}
+		rep, err := metrics.DecodeReport(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("merge: cell %q (%s): %w", c.name, c.path, err)
+		}
+		slim(rep)
+		b.Add(c.name, rep)
+	}
+	if err := b.WriteFile(out); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// slim drops the per-window time-series points from a report destined for
+// a committed bundle: the diff reads totals, percentiles and the ledger,
+// and the summaries keep the per-series digests, so the points only bloat
+// the repository.
+func slim(rep *metrics.Report) {
+	for i := range rep.Series {
+		rep.Series[i].Points = nil
+	}
+}

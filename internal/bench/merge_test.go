@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shadowblock/internal/metrics"
+)
+
+// writeReport drops a minimal valid report file for merge fixtures.
+func writeReport(t *testing.T, path string, cycles int64) {
+	t.Helper()
+	rep := report(cycles, cycles/10)
+	rep.Series = []metrics.SeriesReport{{
+		Name:   "reqs_inflight",
+		Points: []metrics.Point{{Start: 0, Mean: 2}, {Start: 100, Mean: 4}},
+	}}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeReport(t, a, 1000)
+	writeReport(t, b, 2000)
+	out := filepath.Join(dir, "bundle.json")
+
+	got, err := Merge(out, "bench=mcf,refs=100", []string{"serial=" + a, "pipe=" + b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 2 || got.Labels["bench"] != "mcf" || got.Labels["refs"] != "100" {
+		t.Fatalf("merged bundle: %+v", got)
+	}
+
+	back, err := ReadBundle(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cells["serial"].Cycles != 1000 || back.Cells["pipe"].Cycles != 2000 {
+		t.Fatalf("round trip cells: %+v", back.Cells)
+	}
+	// The committed bundle must be slim: series digests survive, raw
+	// time-series points do not.
+	for _, s := range back.Cells["serial"].Series {
+		if len(s.Points) != 0 {
+			t.Fatalf("series %q kept %d points through merge", s.Name, len(s.Points))
+		}
+	}
+}
+
+// TestMergeRejectsOutputCollision pins the truncation bugfix: naming the
+// output file as one of the inputs must fail before ANY file is touched,
+// so the input survives byte-for-byte. Before the fix, os.Create on the
+// output truncated the input to zero bytes and the merge then failed
+// decoding its own wreckage.
+func TestMergeRejectsOutputCollision(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeReport(t, a, 1000)
+	writeReport(t, b, 2000)
+	sentinel, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The collision is in the SECOND argument (spelled with a redundant
+	// path segment so only Clean-aware comparison catches it); the first
+	// is valid and must not have been consumed, nor the output created,
+	// by the time the merge aborts.
+	_, err = Merge(b, "", []string{"ok=" + a, "boom=" + filepath.Join(dir, ".", "b.json")})
+	if err == nil {
+		t.Fatal("merge over its own input accepted")
+	}
+	if !strings.Contains(err.Error(), "overwrite") || !strings.Contains(err.Error(), `"boom"`) {
+		t.Fatalf("collision error does not name the cell: %v", err)
+	}
+	after, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(sentinel) {
+		t.Fatal("input file was modified by a rejected merge")
+	}
+}
+
+// TestMergeDecodeFailureNamesCell pins the diagnostics bugfix: a report
+// that fails to decode must be reported by cell NAME, not just path — in
+// a CI log full of temp paths the name is what a human recognises.
+func TestMergeDecodeFailureNamesCell(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	writeReport(t, good, 1000)
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bundle.json")
+
+	_, err := Merge(out, "", []string{"serial=" + good, "quadcore=" + bad})
+	if err == nil {
+		t.Fatal("garbage report accepted")
+	}
+	if !strings.Contains(err.Error(), `"quadcore"`) {
+		t.Fatalf("decode error does not name the cell: %v", err)
+	}
+
+	// A missing file is the same class of failure: name the cell.
+	_, err = Merge(out, "", []string{"ghost=" + filepath.Join(dir, "nope.json")})
+	if err == nil || !strings.Contains(err.Error(), `"ghost"`) {
+		t.Fatalf("open error does not name the cell: %v", err)
+	}
+}
+
+func TestMergeArgumentValidation(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	writeReport(t, a, 1000)
+	out := filepath.Join(dir, "bundle.json")
+
+	if _, err := Merge(out, "", nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge(out, "", []string{"noequals"}); err == nil {
+		t.Fatal("malformed argument accepted")
+	}
+	if _, err := Merge(out, "", []string{"x=" + a, "x=" + a}); err == nil {
+		t.Fatal("duplicate cell name accepted")
+	}
+	if _, err := Merge(out, "badlabel", []string{"x=" + a}); err == nil {
+		t.Fatal("malformed label accepted")
+	}
+}

@@ -355,6 +355,35 @@ func (m *Memory) BusFreeAt(addr uint64) int64 {
 	return m.channels[ch].busFreeAt
 }
 
+// NextIdleWindow returns the earliest cycle >= from at which the bank
+// owning addr could begin dur cycles of new work without waiting on any
+// access reserved so far. Reservations are prefix-ordered — the model only
+// ever extends bank state forward — so once the bank's last reserved
+// column command has retired the bank is idle indefinitely and the window
+// is simply max(from, readyAt); dur sizes the window for the caller's
+// fit checks (a window that opens at t holds dur cycles of work ending at
+// t+dur). The decoupled writeback scheduler uses this query to slot
+// queued eviction writes into bank idle time between path reads.
+func (m *Memory) NextIdleWindow(addr uint64, from, dur int64) int64 {
+	_ = dur // windows never close in a monotonic reservation model
+	return max64(from, m.BankFreeAt(addr))
+}
+
+// AccessSpan conservatively bounds the duration of n back-to-back accesses
+// to one bank: one worst-case row turnaround (write recovery + precharge +
+// activate from a previous row) plus n column commands and the trailing
+// CAS latency and burst. Schedulers use it to decide whether a batch fits
+// a window without mutating any bank state; the true reserved span is
+// never longer.
+func (m *Memory) AccessSpan(n int) int64 {
+	per := m.cfg.TCCD
+	if m.cfg.TBURST > per {
+		per = m.cfg.TBURST
+	}
+	return m.cfg.TRAS + m.cfg.TWR + m.cfg.TRP + m.cfg.TRCD +
+		int64(n)*per + m.cfg.TCL + m.cfg.TBURST
+}
+
 // EarliestBatchStart returns the earliest cycle at which a batch over addrs
 // could usefully issue its first command: the minimum over addrs of the
 // owning bank's ready time. Issuing earlier would only queue behind every

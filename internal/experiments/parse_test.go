@@ -7,10 +7,11 @@ import (
 )
 
 // TestParseSchemeRoundTrip covers every scheme vocabulary base crossed with
-// every suffix combination in canonical order (base[-pipe][-cN][-coreN])
-// and checks each parse lands on exactly the expected Scheme with the full
-// name preserved. The insecure baseline rejects the engine suffixes but
-// accepts -coreN: cores are a processor property, not an ORAM one.
+// every suffix combination in canonical order
+// (base[-pipe][-cN][-wbd][-coreN]) and checks each parse lands on exactly
+// the expected Scheme with the full name preserved. The insecure baseline
+// rejects the engine suffixes but accepts -coreN: cores are a processor
+// property, not an ORAM one.
 func TestParseSchemeRoundTrip(t *testing.T) {
 	bases := []struct {
 		name     string
@@ -26,44 +27,51 @@ func TestParseSchemeRoundTrip(t *testing.T) {
 	}
 	pipes := []bool{false, true}
 	channelCounts := []int{0, 1, 4}
+	wbds := []bool{false, true}
 	coreCounts := []int{0, 2, 4}
 
 	for _, b := range bases {
 		for _, pipe := range pipes {
 			for _, ch := range channelCounts {
-				for _, cores := range coreCounts {
-					name := b.name
-					if pipe {
-						name += "-pipe"
-					}
-					if ch > 0 {
-						name += fmt.Sprintf("-c%d", ch)
-					}
-					if cores > 0 {
-						name += fmt.Sprintf("-core%d", cores)
-					}
-					t.Run(name, func(t *testing.T) {
-						s, err := ParseScheme(name)
-						if b.insecure && (pipe || ch > 0) {
-							if err == nil {
-								t.Fatalf("insecure with an engine suffix accepted: %+v", s)
+				for _, wbd := range wbds {
+					for _, cores := range coreCounts {
+						name := b.name
+						if pipe {
+							name += "-pipe"
+						}
+						if ch > 0 {
+							name += fmt.Sprintf("-c%d", ch)
+						}
+						if wbd {
+							name += "-wbd"
+						}
+						if cores > 0 {
+							name += fmt.Sprintf("-core%d", cores)
+						}
+						t.Run(name, func(t *testing.T) {
+							s, err := ParseScheme(name)
+							if b.insecure && (pipe || ch > 0 || wbd) {
+								if err == nil {
+									t.Fatalf("insecure with an engine suffix accepted: %+v", s)
+								}
+								return
 							}
-							return
-						}
-						if err != nil {
-							t.Fatal(err)
-						}
-						if s.Name != name {
-							t.Errorf("Name = %q, want the full input %q", s.Name, name)
-						}
-						if s.Insecure != b.insecure || s.Pipeline != pipe || s.Channels != ch || s.Cores != cores {
-							t.Errorf("parsed %+v, want insecure=%v pipeline=%v channels=%d cores=%d",
-								s, b.insecure, pipe, ch, cores)
-						}
-						if b.dynamic && (s.Policy == nil || s.Policy.HotEntries == 0) {
-							t.Errorf("dynamic base lost its policy: %+v", s.Policy)
-						}
-					})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if s.Name != name {
+								t.Errorf("Name = %q, want the full input %q", s.Name, name)
+							}
+							if s.Insecure != b.insecure || s.Pipeline != pipe || s.Channels != ch ||
+								s.WBDecoupled != wbd || s.Cores != cores {
+								t.Errorf("parsed %+v, want insecure=%v pipeline=%v channels=%d wbd=%v cores=%d",
+									s, b.insecure, pipe, ch, wbd, cores)
+							}
+							if b.dynamic && (s.Policy == nil || s.Policy.HotEntries == 0) {
+								t.Errorf("dynamic base lost its policy: %+v", s.Policy)
+							}
+						})
+					}
 				}
 			}
 		}
@@ -76,6 +84,7 @@ func TestParseSchemeRejects(t *testing.T) {
 	for _, name := range []string{
 		"", "bogus", "tiny-c0", "tiny-core0", "tiny-c-4",
 		"insecure-pipe", "insecure-c4", "insecure-pipe-core4",
+		"insecure-wbd", "insecure-wbd-core2", "-wbd",
 		"static-", "dynamic-", "static-x", "-pipe", "-c4", "-core4",
 	} {
 		if s, err := ParseScheme(name); err == nil {
@@ -94,6 +103,7 @@ func FuzzParseScheme(f *testing.F) {
 		"tiny-pipe", "dynamic-3-pipe-c4-core4", "insecure-core2",
 		"tiny-c16", "static-1-core64", "bogus", "tiny-c-1", "-pipe",
 		"tiny-core", "tiny-corea", "dynamic--3", "tiny-pipe-c",
+		"tiny-wbd", "dynamic-3-pipe-c4-wbd", "insecure-wbd", "tiny-wbd-wbd",
 	} {
 		f.Add(seed)
 	}
@@ -112,7 +122,8 @@ func FuzzParseScheme(f *testing.F) {
 		// Policy is a pointer; compare it structurally, the rest directly.
 		if again.Name != s.Name || again.Insecure != s.Insecure || again.TP != s.TP ||
 			again.Treetop != s.Treetop || again.XOR != s.XOR ||
-			again.Pipeline != s.Pipeline || again.Channels != s.Channels || again.Cores != s.Cores {
+			again.Pipeline != s.Pipeline || again.Channels != s.Channels ||
+			again.WBDecoupled != s.WBDecoupled || again.Cores != s.Cores {
 			t.Fatalf("re-parse diverged: %+v vs %+v", again, s)
 		}
 		if (again.Policy == nil) != (s.Policy == nil) {
@@ -124,7 +135,7 @@ func FuzzParseScheme(f *testing.F) {
 		if s.Channels < 0 || s.Cores < 0 {
 			t.Fatalf("accepted negative counts: %+v", s)
 		}
-		if s.Insecure && (s.Pipeline || s.Channels > 0) {
+		if s.Insecure && (s.Pipeline || s.Channels > 0 || s.WBDecoupled) {
 			t.Fatalf("insecure scheme with an ORAM engine option: %+v", s)
 		}
 		_ = strings.TrimSpace(name)

@@ -50,6 +50,11 @@ type Scheme struct {
 	Pipeline bool // pipelined request engine (writeback/read overlap)
 	Channels int  // multi-channel memory system; 0 = legacy layout
 	Cores    int  // issuing cores sharing the front end; 0 = the CPU config's default
+
+	// WBDecoupled selects the decoupled per-bucket writeback scheduler
+	// (the "-wbd" scheme suffix): eviction writes queue per bucket and
+	// drain into idle bank windows with read-priority arbitration.
+	WBDecoupled bool
 }
 
 // The named schemes of the evaluation.
@@ -67,11 +72,15 @@ func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
 // may carry a "-pipe" suffix (tiny-pipe, dynamic-3-pipe, ...) selecting
 // the pipelined request engine, and/or a "-cN" suffix (tiny-c4,
 // dynamic-3-pipe-c2, ...) selecting the N-channel memory system with the
-// channel-interleaved layout; the insecure baseline has no ORAM engine to
-// pipeline or interleave, so those suffixes are rejected on it. Any scheme
-// — the insecure baseline included, since cores are a processor property —
-// may carry an outermost "-coreN" suffix (dynamic-3-pipe-c4-core4, ...)
-// setting how many cores issue into the shared memory system.
+// channel-interleaved layout, and/or a "-wbd" suffix (tiny-wbd,
+// dynamic-3-pipe-c4-wbd, ...) selecting the decoupled per-bucket
+// writeback scheduler; the insecure baseline has no ORAM engine to
+// pipeline, interleave or decouple, so those suffixes are rejected on it.
+// Any scheme — the insecure baseline included, since cores are a
+// processor property — may carry an outermost "-coreN" suffix
+// (dynamic-3-pipe-c4-core4, ...) setting how many cores issue into the
+// shared memory system. The canonical suffix order is
+// base[-pipe][-cN][-wbd][-coreN].
 func ParseScheme(name string) (Scheme, error) {
 	if i := strings.LastIndex(name, "-core"); i > 0 {
 		if n, err := strconv.Atoi(name[i+5:]); err == nil {
@@ -86,6 +95,18 @@ func ParseScheme(name string) (Scheme, error) {
 			s.Cores = n
 			return s, nil
 		}
+	}
+	if base, ok := strings.CutSuffix(name, "-wbd"); ok {
+		if base == "insecure" {
+			return Scheme{}, fmt.Errorf("experiments: scheme %q: the insecure baseline has no writeback path to decouple", name)
+		}
+		s, err := ParseScheme(base)
+		if err != nil {
+			return Scheme{}, err
+		}
+		s.Name = name
+		s.WBDecoupled = true
+		return s, nil
 	}
 	if i := strings.LastIndex(name, "-c"); i > 0 {
 		if n, err := strconv.Atoi(name[i+2:]); err == nil {
@@ -154,6 +175,7 @@ func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
 	ocfg.XOR = s.XOR
 	ocfg.Pipeline = s.Pipeline
 	ocfg.Channels = s.Channels
+	ocfg.WBDecoupled = s.WBDecoupled
 	return sim.Spec{
 		Profile:  p,
 		CPU:      cpuCfg,

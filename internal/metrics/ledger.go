@@ -71,12 +71,21 @@ const (
 	// ResWritebackDrain: eviction-writeback cycles retired in the
 	// background after the datapath freed (pipelined engine).
 	ResWritebackDrain
+	// ResWritebackDeferred: cycles queued per-bucket eviction writes spent
+	// parked in the decoupled writeback queue before the scheduler
+	// released them to DRAM (read-priority deferral).
+	ResWritebackDeferred
+	// ResWritebackSlotted: drain cycles of queued eviction writes the
+	// decoupled scheduler retired opportunistically into idle bank
+	// windows instead of colliding with a path read.
+	ResWritebackSlotted
 
 	NumResources
 )
 
 var resourceNames = [NumResources]string{
 	"reserve_stall", "writeback_overlap", "writeback_drain",
+	"writeback_deferred", "writeback_slotted",
 }
 
 // String returns the resource's stable report key.

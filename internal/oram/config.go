@@ -63,6 +63,23 @@ type Config struct {
 	// with Pipeline=false cycle counts are bit-identical to it.
 	Pipeline bool
 
+	// WBDecoupled enables the decoupled per-bucket writeback scheduler:
+	// eviction writes are queued per bucket instead of reserved as one
+	// monolithic batch at eviction time, and drained into idle bank
+	// windows between path reads with read-priority arbitration. Demand
+	// path reads reserve DRAM first; a queued write is forced to retire
+	// only when its bucket is about to be read again (correctness) or when
+	// it has been deferred for WBMaxDefer eviction phases (starvation
+	// bound). The per-request (kind, leaf, order) touch sequence is
+	// identical to the coupled engine — only DRAM reservation cycles move.
+	// Off by default: cycle counts are bit-identical with it off.
+	WBDecoupled bool
+
+	// WBMaxDefer bounds, in eviction phases, how long a queued writeback
+	// may be deferred before the scheduler force-retires it. 0 selects the
+	// default (8). Only meaningful with WBDecoupled.
+	WBMaxDefer int
+
 	// Channels > 0 selects the multi-channel memory system: the DRAM model
 	// runs with that many channels (overriding DRAM.Channels), the tree
 	// uses the channel-interleaved subtree layout (each path's rows split
@@ -138,6 +155,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("oram: timing protection needs a positive request rate")
 	case c.TreetopLevels < 0 || c.TreetopLevels > c.L+1:
 		return fmt.Errorf("oram: TreetopLevels=%d outside [0,%d]", c.TreetopLevels, c.L+1)
+	case c.WBMaxDefer < 0:
+		return fmt.Errorf("oram: WBMaxDefer=%d must be >= 0 (0 = default)", c.WBMaxDefer)
 	case c.Channels < 0 || c.Channels > 64:
 		return fmt.Errorf("oram: Channels=%d outside [0,64]", c.Channels)
 	case c.Channels > 0 && c.Z*c.BlockBytes > c.DRAM.RowBytes:

@@ -61,6 +61,19 @@ type Stats struct {
 	// reclaimed that way. Both stay zero with Pipeline off.
 	PipelinedReads uint64
 	OverlapCycles  uint64
+
+	// Decoupled-writeback accounting (all zero with WBDecoupled off):
+	// per-bucket write ops queued at evictions, ops the scheduler slotted
+	// into idle bank windows, ops force-retired (bucket about to be read
+	// again, or the WBMaxDefer starvation bound), ops flushed by Drain at
+	// end of run, total cycles ops sat deferred in the queue, and the
+	// queue's occupancy high-water mark.
+	WBEnqueued       uint64
+	WBSlotted        uint64
+	WBForced         uint64
+	WBFlushed        uint64
+	WBDeferralCycles uint64
+	WBMaxPending     int
 }
 
 // EventKind labels an externally visible ORAM operation.
@@ -127,8 +140,14 @@ type Controller struct {
 	// draining into DRAM. The serial engine folds it into busyUntil; the
 	// pipelined engine lets busyUntil (the read/decrypt datapath) free at
 	// the end of the eviction's path read and tracks the writeback here,
-	// so the next path read may overlap it.
+	// so the next path read may overlap it. The decoupled scheduler
+	// max-updates it with every retired write op's completion.
 	wbDrain int64
+
+	// wb is the decoupled writeback scheduler's queue state; nil unless
+	// cfg.WBDecoupled (every hot-path hook checks the nil, so the coupled
+	// engines pay one predictable branch at most).
+	wb *wbState
 
 	stats        Stats
 	observer     func(Event)
@@ -164,6 +183,9 @@ type Controller struct {
 func New(cfg Config, policy DupPolicy) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.WBDecoupled && cfg.WBMaxDefer == 0 {
+		cfg.WBMaxDefer = defaultWBMaxDefer
 	}
 	if policy == nil {
 		policy = NopPolicy{}
@@ -235,6 +257,9 @@ func New(cfg Config, policy DupPolicy) (*Controller, error) {
 			c.chanSeries[ch] = fmt.Sprintf("dram_util_c%d", ch)
 		}
 		c.chanDone = make([]int64, geo.PathLen())
+	}
+	if cfg.WBDecoupled {
+		c.initWriteback()
 	}
 	c.bindEngine()
 	c.pos = posmap.NewStore(hier, geo.NumLeaves(), rng.NewXoshiro(cfg.Seed*0xc2b2ae35+3))
@@ -388,8 +413,15 @@ func (c *Controller) BusyUntil() int64 { return c.busyUntil }
 // including a still-draining pipelined writeback — is finished.
 func (c *Controller) completionCycle() int64 { return max64(c.busyUntil, c.wbDrain) }
 
-// Drain returns the cycle at which all work completes.
-func (c *Controller) Drain() int64 { return c.completionCycle() }
+// Drain returns the cycle at which all work completes. With the decoupled
+// writeback scheduler on, any write ops still parked in the queue are
+// flushed to DRAM first (there will be no further path read to slot them
+// around); the coupled engines have nothing pending and Drain is a pure
+// query. Idempotent either way.
+func (c *Controller) Drain() int64 {
+	c.wbFlush()
+	return c.completionCycle()
+}
 
 // WriteBlock stores data (padded or truncated to the block size) at addr
 // through a full ORAM write. Functional mode only.

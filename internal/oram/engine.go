@@ -61,6 +61,29 @@ func (c *Controller) bindEngine() {
 		c.dispatchRead = c.dispatchReadFlat
 		c.dispatchWrite = c.dispatchWriteFlat
 	}
+	// The decoupled writeback scheduler composes over whichever serial or
+	// pipelined issue and flat or channel dispatch was just bound: before a
+	// read decides its issue cycle, due writes (conflicting bucket or
+	// starvation bound) force-retire; after the read has reserved DRAM,
+	// queued writes slot into the bank windows left idle under it; the
+	// eviction's writeback itself is parked instead of reserved. The
+	// closures are built once here — the hot path still never branches on
+	// the configuration.
+	if c.cfg.WBDecoupled {
+		baseIssue := c.readIssue
+		c.readIssue = func(start int64) int64 {
+			c.wbRetireDue(start)
+			return baseIssue(start)
+		}
+		baseDispatch := c.dispatchRead
+		c.dispatchRead = func(issue int64) int64 {
+			end := baseDispatch(issue)
+			c.wbSlotIdle(end)
+			return end
+		}
+		c.dispatchWrite = c.dispatchWriteQueued
+		c.evictRetire = c.evictRetireDecoupled
+	}
 }
 
 // Request serves one LLC miss presented at cycle now. In timing-protection

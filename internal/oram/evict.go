@@ -53,6 +53,19 @@ func (c *Controller) evictRetirePipelined(leaf uint32, readEnd, writeEnd int64) 
 	return readEnd
 }
 
+// evictRetireDecoupled frees the datapath one cycle after the eviction's
+// path read, like the writeback never happened on it: dispatchWriteQueued
+// parked the per-bucket writes (writeEnd is readEnd+1, the staging cost),
+// and each op retires when the scheduler slots or forces it. wbDrain is
+// not touched here — wbReserve max-updates it per retired op.
+func (c *Controller) evictRetireDecoupled(leaf uint32, readEnd, writeEnd int64) int64 {
+	if c.mc != nil && c.mc.Trace != nil {
+		c.mc.Trace.Span("evict.queued", "oram", tidBackground, readEnd, writeEnd,
+			map[string]any{"leaf": leaf, "pending": len(c.wb.ops)})
+	}
+	return writeEnd
+}
+
 // pathWrite implements Algorithm 1: refill path-leaf from the stash as deep
 // as possible; free slots go to the duplication policy before defaulting to
 // dummies. Every slot is (re-)encrypted and written.

@@ -121,6 +121,15 @@ func (q *Queue) Issue(now int64, core int, addr uint32, write bool) (forward, do
 	defer q.mu.Unlock()
 	q.prune(now)
 
+	// Read-priority arbitration for the decoupled writeback scheduler: the
+	// idle gap between the last serve and this presentation closes now, so
+	// queued eviction writes whose banks can finish inside it drain first.
+	// Only writes that provably complete before `now` are slotted — the
+	// demand read presented here is never made to wait on one — and the
+	// pump never touches presentation order, so same-cycle demand reads
+	// still serve in (cycle, core) order. No-op for the coupled engines.
+	q.ctrl.PumpWritebacks(now)
+
 	for i := range q.live {
 		if e := &q.live[i]; e.addr == addr && now < e.forward {
 			q.stats.Coalesced++

@@ -337,6 +337,63 @@ func TestLedgerConservation(t *testing.T) {
 	}
 }
 
+// TestLedgerConservationDecoupled re-runs the conservation identities with
+// the decoupled writeback scheduler on: deferring per-bucket writes moves
+// DRAM cycles into new shared-resource rows (writeback_slotted for the
+// drained spans, writeback_deferred for queue wait), but the per-request
+// stage legs must still telescope bit-exactly and the stage totals must
+// still sum to the issue-to-done total. Deferral is attribution-neutral.
+func TestLedgerConservationDecoupled(t *testing.T) {
+	spec := smallSpec(t)
+	spec.Refs = 2500
+	spec.ORAM.Pipeline = true
+	spec.ORAM.WBDecoupled = true
+	spec.CPU.Cores = 2
+	spec.Metrics = metrics.New(metrics.Options{Ledger: true})
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := m.Obs.Ledger
+	if led == nil {
+		t.Fatal("ledger enabled but no ledger report")
+	}
+	if led.Violations != 0 {
+		t.Fatalf("%d requests failed the bit-exact per-request conservation check", led.Violations)
+	}
+	var stageSum int64
+	for _, s := range led.Stages {
+		if s.Stage == "coalesce" {
+			continue
+		}
+		stageSum += s.Cycles
+	}
+	if stageSum != led.CompleteCycles {
+		t.Fatalf("stage totals %d != complete cycles %d", stageSum, led.CompleteCycles)
+	}
+	if got := spec.Metrics.ReqComplete.Sum(); led.CompleteCycles != got {
+		t.Fatalf("ledger complete cycles %d != histogram sum %d", led.CompleteCycles, got)
+	}
+	// The scheduler must have actually drained writes into idle windows and
+	// attributed the deferral, in its own non-conserving resource rows.
+	res := map[string]int64{}
+	for _, r := range led.Resources {
+		res[r.Resource] = r.Cycles
+	}
+	if res["writeback_slotted"] <= 0 {
+		t.Fatalf("no slotted writeback cycles attributed: %+v", led.Resources)
+	}
+	if res["writeback_deferred"] <= 0 {
+		t.Fatalf("no writeback deferral attributed: %+v", led.Resources)
+	}
+	if m.ORAM.WBEnqueued == 0 || m.ORAM.WBSlotted == 0 {
+		t.Fatalf("scheduler idle on a decoupled run: %+v", m.ORAM)
+	}
+	if m.ORAM.WBEnqueued != m.ORAM.WBSlotted+m.ORAM.WBForced+m.ORAM.WBFlushed {
+		t.Fatalf("writeback accounting open at end of run: %+v", m.ORAM)
+	}
+}
+
 // TestLedgerObservationIsFree asserts the attribution layer's core
 // contract: every simulated cycle count is bit-identical whether the ledger
 // is enabled, disabled, or the run is fully uninstrumented.
