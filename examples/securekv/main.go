@@ -2,23 +2,27 @@
 // store whose every operation is a real ORAM access over really encrypted
 // blocks — an adversary watching the (simulated) memory sees only
 // uniformly random path reads and writes, never which key was touched.
+//
+// The key→block directory and the in-block value framing come from
+// internal/kv, the same schema cmd/shadowd serves over HTTP; this example
+// is the single-threaded, in-process view of that server.
 package main
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"shadowblock/internal/core"
+	"shadowblock/internal/kv"
 	"shadowblock/internal/oram"
 )
 
-// Store maps string keys onto ORAM blocks with open addressing. Values are
-// capped at one block.
+// Store maps string keys onto ORAM blocks. Values are framed with a length
+// prefix inside one block, so any byte string — including values ending in
+// NUL — round-trips exactly.
 type Store struct {
 	ctrl *oram.Controller
+	dir  *kv.Directory // key -> block address (directory kept on-chip)
 	now  int64
-	keys map[string]uint32 // key -> block address (directory kept on-chip)
-	next uint32
 }
 
 // NewStore builds a functional shadow-block ORAM and wraps it.
@@ -30,37 +34,40 @@ func NewStore() (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{ctrl: ctrl, keys: make(map[string]uint32)}, nil
-}
-
-func (s *Store) addr(key string) uint32 {
-	if a, ok := s.keys[key]; ok {
-		return a
-	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	a := s.next // simple bump allocation; a real store would hash + probe
-	s.next++
-	s.keys[key] = a
-	return a
+	return &Store{ctrl: ctrl, dir: kv.NewDirectory(ctrl.NumDataBlocks())}, nil
 }
 
 // Put stores value under key.
-func (s *Store) Put(key, value string) {
-	out := s.ctrl.WriteBlock(s.now, s.addr(key), []byte(value))
+func (s *Store) Put(key, value string) error {
+	blockData, err := kv.EncodeValue([]byte(value), s.ctrl.BlockBytes())
+	if err != nil {
+		return err
+	}
+	addr, err := s.dir.Assign(key)
+	if err != nil {
+		return err
+	}
+	out, err := s.ctrl.WriteBlock(s.now, addr, blockData)
+	if err != nil {
+		return err
+	}
 	s.now = out.Done + 1
+	return nil
 }
 
 // Get fetches the value under key.
-func (s *Store) Get(key string) string {
-	data, out := s.ctrl.ReadBlock(s.now, s.addr(key))
-	s.now = out.Done + 1
-	// Trim the block padding.
-	n := len(data)
-	for n > 0 && data[n-1] == 0 {
-		n--
+func (s *Store) Get(key string) (string, error) {
+	addr, ok := s.dir.Lookup(key)
+	if !ok {
+		return "", fmt.Errorf("securekv: no such key %q", key)
 	}
-	return string(data[:n])
+	data, out := s.ctrl.ReadBlock(s.now, addr)
+	s.now = out.Done + 1
+	value, err := kv.DecodeValue(data)
+	if err != nil {
+		return "", err
+	}
+	return string(value), nil
 }
 
 func main() {
@@ -79,28 +86,46 @@ func main() {
 		}
 	})
 
-	s.Put("alice", "credit: 901")
-	s.Put("bob", "credit: 17")
-	s.Put("carol", "credit: 5587")
-	s.Put("alice", "credit: 1024") // overwrite
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	get := func(key string) string {
+		v, err := s.Get(key)
+		must(err)
+		return v
+	}
+
+	must(s.Put("alice", "credit: 901"))
+	must(s.Put("bob", "credit: 17"))
+	must(s.Put("carol", "credit: 5587"))
+	must(s.Put("alice", "credit: 1024")) // overwrite
+
+	// A value ending in NUL bytes — the old trailing-zero trim corrupted
+	// these; the length-prefixed framing round-trips them exactly.
+	must(s.Put("nul", "binary\x00\x00"))
+	if got := get("nul"); got != "binary\x00\x00" {
+		panic(fmt.Sprintf("nul = %q, want trailing NULs intact", got))
+	}
 
 	// Enough churn to drive real evictions and duplication.
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("user-%d", i%40)
-		s.Put(key, fmt.Sprintf("balance-%d", i))
+		must(s.Put(key, fmt.Sprintf("balance-%d", i)))
 	}
 	for i := 0; i < 40; i++ {
 		key := fmt.Sprintf("user-%d", i)
 		want := fmt.Sprintf("balance-%d", 160+i)
-		if got := s.Get(key); got != want {
+		if got := get(key); got != want {
 			panic(fmt.Sprintf("%s = %q, want %q", key, got, want))
 		}
 	}
 	fmt.Println("200 writes + 40 verified reads over 40 keys: all current")
 
-	fmt.Println("alice =", s.Get("alice"))
-	fmt.Println("bob   =", s.Get("bob"))
-	fmt.Println("carol =", s.Get("carol"))
+	fmt.Println("alice =", get("alice"))
+	fmt.Println("bob   =", get("bob"))
+	fmt.Println("carol =", get("carol"))
 
 	if err := s.ctrl.CheckInvariants(); err != nil {
 		panic(err)

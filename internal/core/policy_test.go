@@ -171,7 +171,10 @@ func TestFunctionalCorrectnessWithDuplication(t *testing.T) {
 		addr := uint32(r.Uint64n(48)) // small hot space: heavy duplication
 		if r.Float64() < 0.4 {
 			v := byte(i)
-			out := ctrl.WriteBlock(now, addr, []byte{v})
+			out, err := ctrl.WriteBlock(now, addr, []byte{v})
+			if err != nil {
+				t.Fatal(err)
+			}
 			ref[addr] = v
 			now = out.Done + 1
 		} else {

@@ -5,6 +5,23 @@
 // computationally indistinguishable, as the ORAM security argument
 // requires (§II-C).
 //
+// # Nonce scheme
+//
+// The 16-byte CTR nonce is split in two halves:
+//
+//	bytes 0..7   per-call counter (little-endian, atomically incremented)
+//	bytes 8..15  per-engine random prefix, drawn from crypto/rand at
+//	             engine construction
+//
+// The counter guarantees that one engine never reuses a pad across calls,
+// even when Encrypt is invoked concurrently from many goroutines (the
+// increment is atomic, so two racing calls always consume distinct
+// values). The random prefix guarantees that two engines built from the
+// same key — e.g. a server restarted over a persistent file backend —
+// sample disjoint nonce spaces except with negligible (2^-64 per pair)
+// probability, so a restart never replays the pad stream from zero
+// against ciphertexts the previous incarnation already wrote.
+//
 // The timing simulations never call into this package; they model the
 // paper's 32-cycle AES latency as a constant instead.
 package crypt
@@ -12,21 +29,27 @@ package crypt
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // NonceSize is the bytes of nonce prepended to every ciphertext.
 const NonceSize = 16
 
-// Engine encrypts and decrypts fixed-size blocks.
+// Engine encrypts and decrypts fixed-size blocks. It is safe for
+// concurrent use: the only mutable state is the atomic nonce counter.
 type Engine struct {
 	block   cipher.Block
-	counter uint64
+	counter atomic.Uint64
+	prefix  [8]byte // random per-engine nonce suffix (bytes 8..15)
 }
 
-// NewEngine builds an engine from a 16-byte key.
+// NewEngine builds an engine from a 16-byte key. Each engine draws a fresh
+// random nonce prefix, so engines sharing a key still produce disjoint
+// pad streams (see the package comment's nonce scheme).
 func NewEngine(key []byte) (*Engine, error) {
 	if len(key) != 16 {
 		return nil, fmt.Errorf("crypt: key must be 16 bytes, got %d", len(key))
@@ -35,22 +58,30 @@ func NewEngine(key []byte) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{block: b}, nil
+	e := &Engine{block: b}
+	if _, err := rand.Read(e.prefix[:]); err != nil {
+		return nil, fmt.Errorf("crypt: drawing nonce prefix: %w", err)
+	}
+	return e, nil
 }
 
 // Encrypt seals plaintext under a fresh pad and returns nonce||ciphertext.
-// Each call consumes a unique counter value, so encrypting the same
-// plaintext twice yields unrelated ciphertexts.
+// Each call atomically consumes a unique counter value, so encrypting the
+// same plaintext twice — even from concurrent goroutines — yields
+// unrelated ciphertexts.
 func (e *Engine) Encrypt(plaintext []byte) []byte {
-	e.counter++
+	n := e.counter.Add(1)
 	out := make([]byte, NonceSize+len(plaintext))
-	binary.LittleEndian.PutUint64(out[:8], e.counter)
+	binary.LittleEndian.PutUint64(out[:8], n)
+	copy(out[8:NonceSize], e.prefix[:])
 	stream := cipher.NewCTR(e.block, out[:NonceSize])
 	stream.XORKeyStream(out[NonceSize:], plaintext)
 	return out
 }
 
-// Decrypt opens a value produced by Encrypt.
+// Decrypt opens a value produced by Encrypt. The nonce travels with the
+// ciphertext, so any engine holding the key can decrypt — including one
+// with a different nonce prefix than the sealer's.
 func (e *Engine) Decrypt(sealed []byte) ([]byte, error) {
 	if len(sealed) < NonceSize {
 		return nil, errors.New("crypt: ciphertext shorter than nonce")

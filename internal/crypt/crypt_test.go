@@ -2,6 +2,8 @@ package crypt
 
 import (
 	"bytes"
+	"encoding/binary"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -50,5 +52,89 @@ func TestShortCiphertextRejected(t *testing.T) {
 	e := newEngine(t)
 	if _, err := e.Decrypt([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short ciphertext accepted")
+	}
+}
+
+// TestConcurrentEncryptUniqueNonces is the regression test for the nonce
+// counter race: before the counter became atomic, concurrent Encrypt calls
+// could read-modify-write the same value and emit two ciphertexts under
+// one pad (a classic CTR one-time-pad reuse). Run under -race this also
+// exercises the data race itself.
+func TestConcurrentEncryptUniqueNonces(t *testing.T) {
+	e := newEngine(t)
+	const workers, perWorker = 8, 250
+	pt := bytes.Repeat([]byte{0x5A}, 32)
+
+	nonces := make([][]byte, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ct := e.Encrypt(pt)
+				nonces[w*perWorker+i] = ct[:NonceSize]
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, len(nonces))
+	for _, n := range nonces {
+		if seen[string(n)] {
+			t.Fatalf("nonce %x used twice: one-time pad reused", n)
+		}
+		seen[string(n)] = true
+	}
+}
+
+// TestRebuiltEngineDoesNotReplayPads is the regression test for the
+// cross-restart pad reuse: two engines built from the same key restart
+// their counters at zero, so without the random per-engine nonce prefix
+// their first ciphertexts would share a pad (identical nonce → XOR of the
+// two ciphertexts equals XOR of the plaintexts).
+func TestRebuiltEngineDoesNotReplayPads(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 16)
+	a, err := NewEngine(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bytes.Repeat([]byte{0xC3}, 48)
+	ca := a.Encrypt(pt)
+	cb := b.Encrypt(pt)
+	if bytes.Equal(ca[:NonceSize], cb[:NonceSize]) {
+		t.Fatal("two engines from the same key produced the same nonce")
+	}
+	if bytes.Equal(ca[NonceSize:], cb[NonceSize:]) {
+		t.Fatal("two engines from the same key produced the same pad")
+	}
+	// Cross-engine decryption must still work: the nonce travels with the
+	// ciphertext.
+	got, err := b.Decrypt(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("cross-engine decryption failed")
+	}
+}
+
+// TestNonceLayout pins the wire format: counter in bytes 0..7, per-engine
+// prefix in bytes 8..15, constant across calls within one engine.
+func TestNonceLayout(t *testing.T) {
+	e := newEngine(t)
+	c1 := e.Encrypt(nil)
+	c2 := e.Encrypt(nil)
+	n1 := binary.LittleEndian.Uint64(c1[:8])
+	n2 := binary.LittleEndian.Uint64(c2[:8])
+	if n2 != n1+1 {
+		t.Fatalf("counter not sequential: %d then %d", n1, n2)
+	}
+	if !bytes.Equal(c1[8:NonceSize], c2[8:NonceSize]) {
+		t.Fatal("per-engine prefix changed between calls")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"shadowblock/internal/dram"
+	"shadowblock/internal/store"
 )
 
 // NoAddr marks "no intended block" (dummy requests, eviction reads).
@@ -103,6 +104,14 @@ type Config struct {
 	// simulations leave it off.
 	Functional bool
 
+	// Store is where functional mode keeps the sealed bucket contents: any
+	// store.Backend (in-memory, file-backed, latency-injecting remote...).
+	// Nil selects the in-memory backend. Only meaningful with Functional;
+	// timing-only simulations store no payloads at all. A backend error is
+	// fatal to the instance (the external tree image is gone), so the
+	// controller panics rather than serving corrupt state.
+	Store store.Backend
+
 	Seed uint64
 	DRAM dram.Config
 }
@@ -162,6 +171,8 @@ func (c Config) Validate() error {
 	case c.Channels > 0 && c.Z*c.BlockBytes > c.DRAM.RowBytes:
 		return fmt.Errorf("oram: channel-interleaved layout needs a bucket (%d B) to fit a DRAM row (%d B)",
 			c.Z*c.BlockBytes, c.DRAM.RowBytes)
+	case c.Store != nil && !c.Functional:
+		return fmt.Errorf("oram: a storage backend requires functional mode")
 	}
 	return c.DRAM.Validate()
 }

@@ -12,6 +12,7 @@ import (
 	"shadowblock/internal/posmap"
 	"shadowblock/internal/rng"
 	"shadowblock/internal/stash"
+	"shadowblock/internal/store"
 	"shadowblock/internal/tree"
 )
 
@@ -224,12 +225,22 @@ func New(cfg Config, policy DupPolicy) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Functional mode keeps the sealed bucket contents in a pluggable
+	// storage backend; the in-memory one is the default. Timing-only
+	// simulations store no payloads, so they carry no backend at all.
+	var back store.Backend
+	if cfg.Functional {
+		back = cfg.Store
+		if back == nil {
+			back = store.NewMem(geo.NumBuckets(), cfg.Z)
+		}
+	}
 	c := &Controller{
 		cfg:        cfg,
 		geo:        geo,
 		layout:     layout,
 		mem:        mem,
-		store:      newTreeStore(geo, cfg.Functional),
+		store:      newTreeStore(geo, back),
 		st:         stash.New(cfg.StashCapacity),
 		policy:     policy,
 		labelRNG:   rng.NewXoshiro(cfg.Seed*0x9e3779b9 + 1),
@@ -404,6 +415,10 @@ func (c *Controller) PosLabel(addr uint32) uint32 { return c.pos.Label(addr) }
 // NumDataBlocks returns the data address space size.
 func (c *Controller) NumDataBlocks() int { return c.pos.Hierarchy().NumData() }
 
+// BlockBytes returns the configured block size (what WriteBlock payloads
+// are padded to).
+func (c *Controller) BlockBytes() int { return c.cfg.BlockBytes }
+
 // BusyUntil returns the cycle at which the controller's read/decrypt
 // datapath frees. With Pipeline on, an eviction writeback may still be
 // draining into DRAM after this; completionCycle/Drain include it.
@@ -423,18 +438,22 @@ func (c *Controller) Drain() int64 {
 	return c.completionCycle()
 }
 
-// WriteBlock stores data (padded or truncated to the block size) at addr
-// through a full ORAM write. Functional mode only.
-func (c *Controller) WriteBlock(now int64, addr uint32, data []byte) Outcome {
+// WriteBlock stores data (zero padded to the block size) at addr through a
+// full ORAM write. Data longer than the block is an error — it is never
+// silently truncated. Functional mode only.
+func (c *Controller) WriteBlock(now int64, addr uint32, data []byte) (Outcome, error) {
 	if !c.cfg.Functional {
 		panic("oram: WriteBlock requires functional mode")
+	}
+	if len(data) > c.cfg.BlockBytes {
+		return Outcome{}, fmt.Errorf("oram: payload of %d bytes exceeds the %d-byte block", len(data), c.cfg.BlockBytes)
 	}
 	buf := make([]byte, c.cfg.BlockBytes)
 	copy(buf, data)
 	c.pendingWrite = buf
 	out := c.Request(now, addr, true)
 	c.pendingWrite = nil
-	return out
+	return out, nil
 }
 
 // ReadBlock fetches the current contents of addr through a full ORAM read.
@@ -459,6 +478,39 @@ func (c *Controller) ReadBlock(now int64, addr uint32) ([]byte, Outcome) {
 	data := make([]byte, len(src))
 	copy(data, src)
 	return data, out
+}
+
+// PeekBlock returns a copy of addr's current plaintext without performing
+// an ORAM access: from the stash when resident, otherwise by decrypting
+// the real copy on its assigned path. It exists for the front end's
+// coalesced reads — the primary miss has already completed synchronously,
+// so the data is on-chip or in the tree, and fetching it must not disturb
+// the access sequence (nothing here consumes randomness or touches timing
+// state). Functional mode only.
+func (c *Controller) PeekBlock(addr uint32) ([]byte, bool) {
+	if !c.cfg.Functional {
+		panic("oram: PeekBlock requires functional mode")
+	}
+	if int(addr) >= c.pos.Hierarchy().NumData() {
+		return nil, false
+	}
+	if e, ok := c.st.Lookup(addr); ok && e.Meta.Kind == block.Real {
+		data := make([]byte, len(e.Data))
+		copy(data, e.Data)
+		return data, true
+	}
+	// Exactly one real copy exists and the path invariant places it on the
+	// path of its current label (shadows may be stale, so only the real
+	// copy is trusted).
+	path := c.geo.Path(c.pos.Label(addr), make([]int, c.geo.Levels()))
+	for _, bucket := range path {
+		for s := 0; s < c.geo.Z; s++ {
+			if m := c.store.get(bucket, s); m.Kind == block.Real && m.Addr == addr {
+				return c.openPayload(bucket, s), true
+			}
+		}
+	}
+	return nil, false
 }
 
 // ledger returns the collector's cycle-attribution ledger (nil when

@@ -179,14 +179,20 @@ func TestFunctionalReadWrite(t *testing.T) {
 	c := MustNew(cfg, nil)
 
 	data := []byte("the quick brown fox")
-	out := c.WriteBlock(0, 13, data)
+	out, err := c.WriteBlock(0, 13, data)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, _ := c.ReadBlock(out.Done+1, 13)
 	if !bytes.Equal(got[:len(data)], data) {
 		t.Fatalf("read back %q, want %q", got[:len(data)], data)
 	}
 	// Overwrite and read again after intervening traffic.
 	data2 := []byte("jumps over the lazy dog")
-	out = c.WriteBlock(out.Done+2, 13, data2)
+	out, err = c.WriteBlock(out.Done+2, 13, data2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	now := out.Done + 1
 	for i := uint32(100); i < 140; i++ {
 		o := c.Request(now, i, false)
@@ -212,7 +218,10 @@ func TestFunctionalManyBlocks(t *testing.T) {
 		addr := uint32(r.Uint64n(64)) // small hot space to force overwrites
 		if r.Float64() < 0.5 {
 			v := []byte{byte(i), byte(i >> 8), byte(addr)}
-			out := c.WriteBlock(now, addr, v)
+			out, err := c.WriteBlock(now, addr, v)
+			if err != nil {
+				t.Fatal(err)
+			}
 			ref[addr] = v
 			now = out.Done + 1
 		} else {

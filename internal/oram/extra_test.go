@@ -71,7 +71,10 @@ func TestShadowWriteForcesCollection(t *testing.T) {
 	c := MustNew(cfg, nil)
 
 	// Access once so block 9 is somewhere well-defined, then write data.
-	out := c.WriteBlock(0, 9, []byte("v1"))
+	out, err := c.WriteBlock(0, 9, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	now := out.Done + 1
 	// Push it out of the stash with unrelated traffic.
 	for i := uint32(100); i < 130; i++ {
@@ -84,7 +87,10 @@ func TestShadowWriteForcesCollection(t *testing.T) {
 	e.Data = append([]byte("v1"), make([]byte, 62)...)
 	c.Stash().Insert(e)
 
-	out = c.WriteBlock(now, 9, []byte("v2"))
+	out, err = c.WriteBlock(now, 9, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.StashHit {
 		t.Fatal("write served by a shadow without collecting the real block")
 	}

@@ -114,33 +114,103 @@ func (q *Queue) Depth(now int64) int {
 // in-flight address coalesces onto its MSHR; everything else reaches the
 // shared controller in presentation order.
 func (q *Queue) Issue(now int64, core int, addr uint32, write bool) (forward, done int64) {
+	q.checkCore(core)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.enter(now)
+
+	if e := q.coalesce(now, core, addr); e != nil {
+		return e.forward, e.done
+	}
+
+	out := q.ctrl.Request(now, addr, write)
+	q.admit(now, core, addr, out)
+	return out.Forward, out.Done
+}
+
+// Read serves a functional GET through the front end: timing flows exactly
+// as Issue's (coalescing included), and the block's current plaintext
+// comes back with it. A read that coalesces onto an in-flight MSHR takes
+// its data from on-chip or in-tree state — the primary miss has already
+// completed synchronously, so the payload exists; only its return *cycle*
+// is still in flight. Functional mode only.
+func (q *Queue) Read(now int64, core int, addr uint32) ([]byte, Outcome) {
+	q.checkCore(core)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.enter(now)
+
+	if e := q.coalesce(now, core, addr); e != nil {
+		data, ok := q.ctrl.PeekBlock(addr)
+		if !ok {
+			panic(fmt.Sprintf("oram: block %d vanished behind its in-flight MSHR", addr))
+		}
+		return data, Outcome{Start: now, Forward: e.forward, Done: e.done}
+	}
+
+	data, out := q.ctrl.ReadBlock(now, addr)
+	q.admit(now, core, addr, out)
+	return data, out
+}
+
+// Write serves a functional PUT through the front end. Writes never
+// coalesce: the access must run in full to install the new payload and
+// supersede the tree copy. Oversized payloads error before any state
+// changes. Functional mode only.
+func (q *Queue) Write(now int64, core int, addr uint32, data []byte) (Outcome, error) {
+	q.checkCore(core)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.enter(now)
+
+	out, err := q.ctrl.WriteBlock(now, addr, data)
+	if err != nil {
+		return Outcome{}, err
+	}
+	q.admit(now, core, addr, out)
+	return out, nil
+}
+
+func (q *Queue) checkCore(core int) {
 	if core < 0 || core >= q.cores {
 		panic(fmt.Sprintf("oram: core %d outside [0,%d)", core, q.cores))
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
+}
+
+// enter is the shared presentation prologue (callers hold q.mu): retire
+// MSHRs whose forwards have passed, then run the read-priority writeback
+// pump.
+//
+// The pump: the idle gap between the last serve and this presentation
+// closes now, so queued eviction writes whose banks can finish inside it
+// drain first. Only writes that provably complete before `now` are
+// slotted — the demand read presented here is never made to wait on one —
+// and the pump never touches presentation order, so same-cycle demand
+// reads still serve in (cycle, core) order. No-op for the coupled engines.
+func (q *Queue) enter(now int64) {
 	q.prune(now)
-
-	// Read-priority arbitration for the decoupled writeback scheduler: the
-	// idle gap between the last serve and this presentation closes now, so
-	// queued eviction writes whose banks can finish inside it drain first.
-	// Only writes that provably complete before `now` are slotted — the
-	// demand read presented here is never made to wait on one — and the
-	// pump never touches presentation order, so same-cycle demand reads
-	// still serve in (cycle, core) order. No-op for the coupled engines.
 	q.ctrl.PumpWritebacks(now)
+}
 
+// coalesce attaches a presentation to an in-flight MSHR for addr, if one
+// exists, recording the secondary miss; callers hold q.mu.
+func (q *Queue) coalesce(now int64, core int, addr uint32) *mshr {
 	for i := range q.live {
 		if e := &q.live[i]; e.addr == addr && now < e.forward {
 			q.stats.Coalesced++
 			q.mc.Count("queue.coalesced", 1)
 			q.ctrl.ledger().RecordCoalesced(e.forward - now)
 			q.observe(now, core, e.forward-now)
-			return e.forward, e.done
+			return e
 		}
 	}
+	return nil
+}
 
-	out := q.ctrl.Request(now, addr, write)
+// admit records a served request's outcome (callers hold q.mu): stash hits
+// never occupied the memory system, everything else opens an MSHR for
+// later misses to coalesce onto.
+func (q *Queue) admit(now int64, core int, addr uint32, out Outcome) {
 	if out.StashHit {
 		// Served on-chip: the miss never occupied the memory system, so
 		// there is nothing for a later miss to coalesce onto.
@@ -155,7 +225,6 @@ func (q *Queue) Issue(now int64, core int, addr uint32, write bool) (forward, do
 		}
 	}
 	q.observe(now, core, out.Forward-now)
-	return out.Forward, out.Done
 }
 
 // prune retires entries whose data has forwarded by cycle now. Retired

@@ -1,26 +1,32 @@
 package oram
 
 import (
+	"fmt"
+
 	"shadowblock/internal/block"
+	"shadowblock/internal/store"
 	"shadowblock/internal/tree"
 )
 
 // treeStore is the external-memory image of the ORAM tree: packed metadata
-// for every slot plus, in functional mode, the slot ciphertexts. The packed
-// metadata is the simulator's bookkeeping of what each (indistinguishable)
-// ciphertext would decrypt to; nothing in it is visible off-chip.
+// for every slot plus, in functional mode, the slot ciphertexts held in a
+// pluggable store.Backend. The packed metadata is the simulator's
+// bookkeeping of what each (indistinguishable) ciphertext would decrypt
+// to; nothing in it is visible off-chip. Timing-only simulations carry no
+// backend at all (back == nil), so the hot path is untouched by the
+// storage seam.
+//
+// Backend errors are fatal: the external image is the only copy of the
+// sealed data, so a backend that cannot read or write it leaves the ORAM
+// instance unusable (see Config.Store).
 type treeStore struct {
 	geo   tree.Geometry
 	slots []uint64
-	data  [][]byte // ciphertexts; nil unless functional
+	back  store.Backend // nil unless functional
 }
 
-func newTreeStore(geo tree.Geometry, functional bool) *treeStore {
-	t := &treeStore{geo: geo, slots: make([]uint64, geo.NumSlots())}
-	if functional {
-		t.data = make([][]byte, geo.NumSlots())
-	}
-	return t
+func newTreeStore(geo tree.Geometry, back store.Backend) *treeStore {
+	return &treeStore{geo: geo, slots: make([]uint64, geo.NumSlots()), back: back}
 }
 
 func (t *treeStore) get(bucket, slot int) block.Meta {
@@ -28,26 +34,42 @@ func (t *treeStore) get(bucket, slot int) block.Meta {
 }
 
 func (t *treeStore) set(bucket, slot int, m block.Meta, payload []byte) {
-	i := t.geo.SlotIndex(bucket, slot)
-	t.slots[i] = m.Pack()
-	if t.data != nil {
-		t.data[i] = payload
+	t.slots[t.geo.SlotIndex(bucket, slot)] = m.Pack()
+	if t.back != nil {
+		t.storeSlot(bucket, slot, payload)
 	}
 }
 
 func (t *treeStore) clear(bucket, slot int) {
-	i := t.geo.SlotIndex(bucket, slot)
-	t.slots[i] = 0
-	if t.data != nil {
-		t.data[i] = nil
+	t.slots[t.geo.SlotIndex(bucket, slot)] = 0
+	if t.back != nil {
+		t.storeSlot(bucket, slot, nil)
+	}
+}
+
+// storeSlot updates one slot's ciphertext through the backend's
+// bucket-granular interface (read-modify-write; the returned slice may
+// alias backend memory, which both in-tree backends permit round-tripping).
+func (t *treeStore) storeSlot(bucket, slot int, payload []byte) {
+	slots, err := t.back.ReadBucket(bucket)
+	if err != nil {
+		panic(fmt.Sprintf("oram: storage backend read of bucket %d: %v", bucket, err))
+	}
+	slots[slot] = payload
+	if err := t.back.WriteBucket(bucket, slots); err != nil {
+		panic(fmt.Sprintf("oram: storage backend write of bucket %d: %v", bucket, err))
 	}
 }
 
 func (t *treeStore) payload(bucket, slot int) []byte {
-	if t.data == nil {
+	if t.back == nil {
 		return nil
 	}
-	return t.data[t.geo.SlotIndex(bucket, slot)]
+	slots, err := t.back.ReadBucket(bucket)
+	if err != nil {
+		panic(fmt.Sprintf("oram: storage backend read of bucket %d: %v", bucket, err))
+	}
+	return slots[slot]
 }
 
 // occupancy returns how many non-dummy blocks bucket currently holds.
