@@ -34,7 +34,8 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
-	only := flag.String("only", "", "run a single experiment (tableI, fig6, fig8, ... fig19, ablation)")
+	only := flag.String("only", "", "run a single experiment (tableI, fig6, fig8, ... fig19, ablation, ring, engines, occupancy)")
+	engines := flag.String("engines", "", "comma-separated scheme list for the cross-engine matrix (default dynamic-3,ring:dynamic-3)")
 	out := flag.String("out", "results", "output directory ('' = stdout only)")
 	refs := flag.Int("refs", 0, "override references per run")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON report of the observation cell to this file")
@@ -138,6 +139,9 @@ func main() {
 		{"fig19", wrap(func() (renderer, error) { return experiments.Fig19(r) })},
 		{"ablation", wrap(func() (renderer, error) { return experiments.Ablation(r) })},
 		{"ring", wrap(func() (renderer, error) { return experiments.RingStudy(r) })},
+		{"engines", wrap(func() (renderer, error) {
+			return experiments.EngineMatrix(r, engineSchemes(*engines))
+		})},
 		{"occupancy", wrap(func() (renderer, error) { return experiments.Occupancy(r) })},
 	}
 
@@ -222,6 +226,21 @@ func observe(r experiments.Runner, bench, scheme string, pipeline bool, channels
 		}
 	}
 	return nil
+}
+
+// engineSchemes splits the -engines flag; empty keeps the default
+// path-vs-ring comparison.
+func engineSchemes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 type renderer interface{ Render() string }

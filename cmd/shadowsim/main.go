@@ -35,7 +35,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "hmmer", "workload: "+strings.Join(trace.Names(), ", "))
-	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with -pipe / -cN / -wbd suffixes, all with a -coreN suffix")
+	scheme := flag.String("scheme", "dynamic-3", "insecure | tiny | rd | hd | static-N | dynamic-N, each but insecure also with -pipe / -cN / -wbd suffixes, all with a -coreN suffix; an engine: prefix (e.g. ring:dynamic-3) selects a registered ORAM engine")
 	tp := flag.Bool("tp", false, "enable timing protection (constant-rate requests)")
 	pipeline := flag.Bool("pipeline", false, "pipelined request engine (same as a -pipe scheme suffix)")
 	channels := flag.Int("channels", 0, "multi-channel memory system with channel-interleaved layout (same as a -cN scheme suffix; 0 = legacy)")
@@ -98,7 +98,7 @@ func main() {
 	}
 
 	spec := sim.Spec{Profile: p, Refs: *refs, Seed: *seed, ORAM: ocfg,
-		Insecure: s.Insecure, Policy: s.Policy}
+		Insecure: s.Insecure, Engine: s.Engine, Policy: s.Policy}
 	switch *cpuType {
 	case "inorder":
 		spec.CPU = cpu.InOrder()
@@ -140,8 +140,8 @@ func main() {
 	}
 
 	fmt.Printf("workload        %s (%d refs, seed %d)\n", p.Name, *refs, *seed)
-	fmt.Printf("scheme          %s (tp=%v treetop=%d xor=%v pipeline=%v channels=%d wb=%s cpu=%s cores=%d)\n",
-		*scheme, ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, wbName(ocfg.WBDecoupled), *cpuType, spec.CPU.Cores)
+	fmt.Printf("scheme          %s (engine=%s tp=%v treetop=%d xor=%v pipeline=%v channels=%d wb=%s cpu=%s cores=%d)\n",
+		*scheme, engineName(s), ocfg.TimingProtection, *treetop, *xor, ocfg.Pipeline, ocfg.Channels, wbName(ocfg.WBDecoupled), *cpuType, spec.CPU.Cores)
 	fmt.Printf("total cycles    %d\n", m.Cycles)
 	fmt.Printf("  data access   %d (%.1f%%)\n", m.DataAccess, 100*float64(m.DataAccess)/float64(m.Cycles))
 	fmt.Printf("  DRI           %d (%.1f%%)\n", m.DRI, 100*float64(m.DRI)/float64(m.Cycles))
@@ -222,6 +222,16 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "shadowsim:", err)
 	os.Exit(1)
+}
+
+func engineName(s experiments.Scheme) string {
+	switch {
+	case s.Insecure:
+		return "none"
+	case s.Engine != "":
+		return s.Engine
+	}
+	return oram.PathEngine
 }
 
 func wbName(decoupled bool) string {

@@ -147,7 +147,10 @@ type Policy struct {
 	mc *metrics.Collector
 }
 
-var _ oram.DupPolicy = (*Policy)(nil)
+var (
+	_ oram.DupPolicy      = (*Policy)(nil)
+	_ oram.GeometryBinder = (*Policy)(nil)
+)
 
 // New builds a shadow-block ORAM: a controller whose path writes fill dummy
 // slots through this policy.
@@ -179,6 +182,17 @@ func NewPolicy(pcfg Config, geo tree.Geometry, st *stash.Stash) (*Policy, error)
 	}
 	return p, nil
 }
+
+// NewUnbound builds a policy not yet bound to a geometry and stash, for
+// handing to an engine constructor through the oram.Engine seam: the
+// constructor binds it (via oram.GeometryBinder) once its geometry and
+// stash exist. Using an unbound policy before binding is a programming
+// error.
+func NewUnbound(pcfg Config) (*Policy, error) { return newUnbound(pcfg) }
+
+// BindGeometry implements oram.GeometryBinder: engine constructors call
+// it exactly once, after construction, with their geometry and stash.
+func (p *Policy) BindGeometry(geo tree.Geometry, st *stash.Stash) error { return p.bind(geo, st) }
 
 func newUnbound(pcfg Config) (*Policy, error) {
 	if err := pcfg.Validate(); err != nil {

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"shadowblock/internal/cpu"
+	"shadowblock/internal/trace"
+)
+
+// TestSeamGoldens pins every pre-seam Path ORAM configuration class —
+// serial, duplicated, pipelined, multi-channel, multi-core, decoupled
+// writeback — to the exact cycle counts and controller counters the
+// pre-refactor code produced (mcf, 3000 refs, seed 7, in-order CPU).
+// The engine seam routes construction through the registry
+// (core.NewUnbound → oram.NewEngine → BindGeometry); this test is the
+// proof that the reroute is bit-identical, and the explicit "path:"
+// spelling must land on the same numbers as the implied default.
+func TestSeamGoldens(t *testing.T) {
+	golden := []struct {
+		scheme     string
+		cycles     int64
+		requests   uint64
+		stashHits  uint64
+		shadowHits uint64
+	}{
+		{"tiny", 4174277, 2136, 1, 0},
+		{"dynamic-3", 4153432, 2136, 2, 21},
+		{"dynamic-3-pipe", 4013923, 2136, 2, 21},
+		{"dynamic-3-pipe-c2", 3575358, 2136, 2, 21},
+		{"dynamic-3-pipe-c4-core4", 8893854, 8648, 0, 72},
+		{"dynamic-3-pipe-c4-wbd", 2338825, 2136, 2, 21},
+		{"path:dynamic-3", 4153432, 2136, 2, 21},
+	}
+	p, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf profile missing")
+	}
+	r := Runner{Refs: 3000, Seed: 7, Workloads: []trace.Profile{p}}
+	for _, g := range golden {
+		g := g
+		t.Run(g.scheme, func(t *testing.T) {
+			t.Parallel()
+			s, err := ParseScheme(g.scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := r.Run(p, cpu.InOrder(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Cycles != g.cycles {
+				t.Errorf("cycles = %d, want the pre-seam %d", m.Cycles, g.cycles)
+			}
+			if m.ORAM.Requests != g.requests || m.ORAM.StashHits != g.stashHits ||
+				m.ORAM.ShadowStashHits != g.shadowHits {
+				t.Errorf("counters = req %d stash %d shadow %d, want %d/%d/%d",
+					m.ORAM.Requests, m.ORAM.StashHits, m.ORAM.ShadowStashHits,
+					g.requests, g.stashHits, g.shadowHits)
+			}
+		})
+	}
+}

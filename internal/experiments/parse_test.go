@@ -78,6 +78,71 @@ func TestParseSchemeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseSchemeEngines covers the engine: prefix: every registered
+// engine crossed with the bases it composes with parses to the prefixed
+// Scheme, "path" is the implied default of a bare name, and suffixes
+// outside an engine's capabilities are rejected at parse time.
+func TestParseSchemeEngines(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		engine string
+		cores  int
+	}{
+		{"path:tiny", "path", 0},
+		{"path:dynamic-3-pipe-c4-wbd-core4", "path", 4},
+		{"ring:tiny", "ring", 0},
+		{"ring:dynamic-3", "ring", 0},
+		{"ring:static-7-core2", "ring", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseScheme(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name != tc.name || s.Engine != tc.engine || s.Cores != tc.cores {
+				t.Errorf("parsed %+v, want name=%q engine=%q cores=%d", s, tc.name, tc.engine, tc.cores)
+			}
+		})
+	}
+
+	// A bare name and its explicit path: spelling differ only in Name and
+	// the (implied vs explicit) Engine field.
+	bare, err1 := ParseScheme("dynamic-3-pipe")
+	pref, err2 := ParseScheme("path:dynamic-3-pipe")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if bare.Engine != "" || pref.Engine != "path" {
+		t.Errorf("engine fields: bare=%q prefixed=%q", bare.Engine, pref.Engine)
+	}
+	if bare.Pipeline != pref.Pipeline || (bare.Policy == nil) != (pref.Policy == nil) {
+		t.Errorf("bare and path: parses diverged: %+v vs %+v", bare, pref)
+	}
+
+	// Unknown engines name the registry's contents.
+	_, err := ParseScheme("bogus:tiny")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, want := range []string{"bogus", "path", "ring"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-engine error %q does not mention %q", err, want)
+		}
+	}
+
+	// Capability violations are parse errors, not mid-run panics.
+	for _, name := range []string{
+		"ring:tiny-pipe", "ring:dynamic-3-c4", "ring:tiny-wbd",
+		"ring:dynamic-3-pipe-c4-wbd-core4",
+	} {
+		if s, err := ParseScheme(name); err == nil {
+			t.Errorf("%q accepted despite ring's capabilities: %+v", name, s)
+		} else if !strings.Contains(err.Error(), "ring") {
+			t.Errorf("%q: error %q does not name the engine", name, err)
+		}
+	}
+}
+
 // TestParseSchemeRejects pins the malformed inputs the fuzz target has no
 // oracle for.
 func TestParseSchemeRejects(t *testing.T) {
@@ -86,6 +151,8 @@ func TestParseSchemeRejects(t *testing.T) {
 		"insecure-pipe", "insecure-c4", "insecure-pipe-core4",
 		"insecure-wbd", "insecure-wbd-core2", "-wbd",
 		"static-", "dynamic-", "static-x", "-pipe", "-c4", "-core4",
+		"bogus:tiny", "ring:", ":tiny", ":", "ring:ring:tiny", "path:path:tiny",
+		"ring:insecure", "path:insecure", "ring:bogus", "ring:tiny-pipe",
 	} {
 		if s, err := ParseScheme(name); err == nil {
 			t.Errorf("%q accepted: %+v", name, s)
@@ -104,6 +171,9 @@ func FuzzParseScheme(f *testing.F) {
 		"tiny-c16", "static-1-core64", "bogus", "tiny-c-1", "-pipe",
 		"tiny-core", "tiny-corea", "dynamic--3", "tiny-pipe-c",
 		"tiny-wbd", "dynamic-3-pipe-c4-wbd", "insecure-wbd", "tiny-wbd-wbd",
+		"ring:tiny", "ring:dynamic-3-core2", "path:dynamic-3-pipe-c4-wbd",
+		"bogus:tiny", "ring:tiny-pipe", "ring:insecure", "ring:", ":tiny",
+		"ring:ring:tiny", "path:static-7",
 	} {
 		f.Add(seed)
 	}
@@ -120,7 +190,8 @@ func FuzzParseScheme(f *testing.F) {
 			t.Fatalf("accepted %q once, rejected on re-parse: %v", name, err)
 		}
 		// Policy is a pointer; compare it structurally, the rest directly.
-		if again.Name != s.Name || again.Insecure != s.Insecure || again.TP != s.TP ||
+		if again.Name != s.Name || again.Engine != s.Engine ||
+			again.Insecure != s.Insecure || again.TP != s.TP ||
 			again.Treetop != s.Treetop || again.XOR != s.XOR ||
 			again.Pipeline != s.Pipeline || again.Channels != s.Channels ||
 			again.WBDecoupled != s.WBDecoupled || again.Cores != s.Cores {
@@ -135,7 +206,7 @@ func FuzzParseScheme(f *testing.F) {
 		if s.Channels < 0 || s.Cores < 0 {
 			t.Fatalf("accepted negative counts: %+v", s)
 		}
-		if s.Insecure && (s.Pipeline || s.Channels > 0 || s.WBDecoupled) {
+		if s.Insecure && (s.Pipeline || s.Channels > 0 || s.WBDecoupled || s.Engine != "") {
 			t.Fatalf("insecure scheme with an ORAM engine option: %+v", s)
 		}
 		_ = strings.TrimSpace(name)

@@ -1,14 +1,9 @@
 package experiments
 
 import (
-	"shadowblock/internal/core"
 	"shadowblock/internal/cpu"
-	"shadowblock/internal/oram"
 	"shadowblock/internal/ring"
-	"shadowblock/internal/stash"
 	"shadowblock/internal/stats"
-	"shadowblock/internal/trace"
-	"shadowblock/internal/tree"
 )
 
 // RingFig substantiates §II-C's generality claim: shadow blocks applied to
@@ -22,62 +17,30 @@ type RingFig struct {
 	ShadowEvents []float64 // shadow forwards + hits per 1000 requests
 }
 
-type ringMemory struct {
-	ctrl  *ring.Controller
-	space uint32
-}
-
-func (m *ringMemory) Request(now int64, addr uint32, write bool) (int64, int64) {
-	out := m.ctrl.Request(now, addr%m.space, write)
-	return out.Forward, out.Done
-}
-
-// RingStudy runs the comparison.
+// RingStudy runs the comparison. All three cells — plain Ring, shadow
+// Ring, and the Tiny ORAM reference — run through the same simulator
+// stack via the engine seam; the Ring configurations are exactly the
+// "ring:tiny" and "ring:dynamic-3" scheme spellings, so the study
+// measures what any user of the scheme vocabulary gets.
 func RingStudy(r Runner) (*RingFig, error) {
 	out := &RingFig{Workloads: r.names()}
 	nw := len(r.Workloads)
 	type res struct {
 		speedup, ringBlk, tinyBlk, events float64
 	}
+	ringPlain := Scheme{Name: "ring:tiny", Engine: ring.EngineName}
+	ringShadow, err := ParseScheme("ring:dynamic-3")
+	if err != nil {
+		return nil, err
+	}
 	results := make([]res, nw)
-	err := parMap(nw, func(i int) error {
+	err = parMap(nw, func(i int) error {
 		p := r.Workloads[i]
-		tr, err := p.Generate(r.Refs, r.Seed)
+		plain, err := r.Run(p, cpu.InOrder(), ringPlain)
 		if err != nil {
 			return err
 		}
-		runRing := func(shadow bool) (int64, ring.Stats, float64, error) {
-			cfg := ring.Default()
-			var ctrl *ring.Controller
-			if shadow {
-				ctrl, err = ring.NewShadow(cfg, func(geo tree.Geometry, st *stash.Stash) (oram.DupPolicy, error) {
-					return core.NewPolicy(core.Dynamic(3), geo, st)
-				})
-			} else {
-				ctrl, err = ring.New(cfg, nil)
-			}
-			if err != nil {
-				return 0, ring.Stats{}, 0, err
-			}
-			mem := &ringMemory{ctrl: ctrl, space: uint32(ctrl.NumDataBlocks())}
-			cres, err := cpu.Run(cpu.InOrder(), [][]trace.Access{tr}, mem)
-			if err != nil {
-				return 0, ring.Stats{}, 0, err
-			}
-			st := ctrl.Stats()
-			ms := ctrl.MemStats()
-			blocks := float64(ms.Reads+ms.Writes) / float64(st.Requests)
-			cycles := cres.Cycles
-			if d := ctrl.Drain(); d > cycles {
-				cycles = d
-			}
-			return cycles, st, blocks, nil
-		}
-		plainCycles, _, plainBlocks, err := runRing(false)
-		if err != nil {
-			return err
-		}
-		shadowCycles, sst, _, err := runRing(true)
+		shadow, err := r.Run(p, cpu.InOrder(), ringShadow)
 		if err != nil {
 			return err
 		}
@@ -86,10 +49,10 @@ func RingStudy(r Runner) (*RingFig, error) {
 			return err
 		}
 		results[i] = res{
-			speedup: float64(plainCycles) / float64(shadowCycles),
-			ringBlk: plainBlocks,
+			speedup: float64(plain.Cycles) / float64(shadow.Cycles),
+			ringBlk: float64(plain.Mem.Reads+plain.Mem.Writes) / float64(plain.ORAM.Requests),
 			tinyBlk: float64(tiny.Mem.Reads+tiny.Mem.Writes) / float64(tiny.ORAM.Requests),
-			events:  1000 * float64(sst.ShadowForwards+sst.ShadowStashHits) / float64(sst.Requests),
+			events:  1000 * float64(shadow.ORAM.ShadowForwards+shadow.ORAM.ShadowStashHits) / float64(shadow.ORAM.Requests),
 		}
 		return nil
 	})

@@ -42,6 +42,7 @@ func Quick() Runner {
 // Scheme names a memory-system configuration under evaluation.
 type Scheme struct {
 	Name     string
+	Engine   string // registered ORAM engine; "" = "path", the implied default
 	Insecure bool
 	TP       bool // timing protection at the Table I static rate
 	Policy   *core.Config
@@ -81,7 +82,43 @@ func schemePolicy(name string, tp bool, cfg core.Config) Scheme {
 // (dynamic-3-pipe-c4-core4, ...) setting how many cores issue into the
 // shared memory system. The canonical suffix order is
 // base[-pipe][-cN][-wbd][-coreN].
+//
+// An "engine:" prefix (ring:tiny, ring:dynamic-3-core2, path:dynamic-3,
+// ...) selects which registered ORAM engine serves the scheme; without
+// one, "path" — the Tiny ORAM controller — is implied, so every pre-seam
+// scheme string parses to the configuration it always did. Unknown
+// engines are rejected with the registry's known-engine list, and a
+// suffix requesting an axis outside the engine's capabilities (e.g.
+// ring:tiny-pipe) is rejected here, at parse time, rather than
+// mid-construction. The insecure baseline bypasses ORAM and takes no
+// engine prefix.
 func ParseScheme(name string) (Scheme, error) {
+	if engine, rest, ok := strings.Cut(name, ":"); ok {
+		if engine == "" || rest == "" {
+			return Scheme{}, fmt.Errorf("experiments: scheme %q: want engine:scheme", name)
+		}
+		if strings.Contains(rest, ":") {
+			return Scheme{}, fmt.Errorf("experiments: scheme %q: more than one engine prefix", name)
+		}
+		info, known := oram.LookupEngine(engine)
+		if !known {
+			return Scheme{}, fmt.Errorf("experiments: scheme %q: unknown engine %q (known engines: %s)",
+				name, engine, strings.Join(oram.Engines(), ", "))
+		}
+		s, err := ParseScheme(rest)
+		if err != nil {
+			return Scheme{}, err
+		}
+		if s.Insecure {
+			return Scheme{}, fmt.Errorf("experiments: scheme %q: the insecure baseline bypasses ORAM and takes no engine", name)
+		}
+		if err := checkEngineCaps(name, engine, info.Caps, s); err != nil {
+			return Scheme{}, err
+		}
+		s.Name = name
+		s.Engine = engine
+		return s, nil
+	}
 	if i := strings.LastIndex(name, "-core"); i > 0 {
 		if n, err := strconv.Atoi(name[i+5:]); err == nil {
 			if n < 1 {
@@ -164,6 +201,25 @@ func ParseScheme(name string) (Scheme, error) {
 	}
 }
 
+// checkEngineCaps rejects a scheme whose suffixes request an axis outside
+// the named engine's capabilities — the parse-time mirror of
+// oram.Caps.Check, phrased in the scheme-suffix vocabulary.
+func checkEngineCaps(name, engine string, caps oram.Caps, s Scheme) error {
+	switch {
+	case s.Pipeline && !caps.Pipeline:
+		return fmt.Errorf("experiments: scheme %q: engine %q does not compose with -pipe", name, engine)
+	case s.Channels > 0 && !caps.Channels:
+		return fmt.Errorf("experiments: scheme %q: engine %q does not compose with -cN", name, engine)
+	case s.WBDecoupled && !caps.WBDecoupled:
+		return fmt.Errorf("experiments: scheme %q: engine %q does not compose with -wbd", name, engine)
+	case s.Cores > 1 && !caps.Cores:
+		return fmt.Errorf("experiments: scheme %q: engine %q does not compose with -coreN", name, engine)
+	case s.Treetop > 0 && !caps.Treetop:
+		return fmt.Errorf("experiments: scheme %q: engine %q does not support treetop caching", name, engine)
+	}
+	return nil
+}
+
 // spec assembles the sim.Spec of one (workload, scheme) cell.
 func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
 	if s.Cores > 0 {
@@ -182,6 +238,7 @@ func (r Runner) spec(p trace.Profile, cpuCfg cpu.Config, s Scheme) sim.Spec {
 		Refs:     r.Refs,
 		Seed:     r.Seed,
 		Insecure: s.Insecure,
+		Engine:   s.Engine,
 		ORAM:     ocfg,
 		Policy:   s.Policy,
 	}

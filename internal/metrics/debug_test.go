@@ -27,7 +27,7 @@ func TestServeDebugBindsEphemeralPortAndCloses(t *testing.T) {
 	c := New(Options{Ledger: true})
 	c.ReqForward.Record(100)
 	c.Ledger.RecordAccess(0, 0, 100, 0, 100)
-	c.PublishLive(&LiveSnapshot{Cycles: 4096, QueueDepth: 2})
+	c.PublishLive(&LiveSnapshot{Cycles: 4096, Engine: "ring", QueueDepth: 2})
 
 	s, err := ServeDebug("127.0.0.1:0", c)
 	if err != nil {
@@ -46,7 +46,7 @@ func TestServeDebugBindsEphemeralPortAndCloses(t *testing.T) {
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatalf("/debug/shadow is not JSON: %v\n%s", err, body)
 	}
-	if snap.Cycles != 4096 || snap.QueueDepth != 2 || snap.Requests != 1 {
+	if snap.Cycles != 4096 || snap.Engine != "ring" || snap.QueueDepth != 2 || snap.Requests != 1 {
 		t.Fatalf("snapshot mangled: %+v", snap)
 	}
 	if snap.Ledger == nil || snap.Ledger.CompleteCycles != 100 {

@@ -41,7 +41,11 @@ type SeriesReport struct {
 // Report is the machine-readable outcome of one instrumented run. See the
 // README's "Observability" section for the field-by-field schema.
 type Report struct {
-	Schema   string                   `json:"schema"`
+	Schema string `json:"schema"`
+	// Engine names the ORAM engine that produced the run ("path", "ring",
+	// ...). Empty in reports from older binaries and engine-less runs (the
+	// insecure baseline) — a schema-compatible addition, so v3 stands.
+	Engine   string                   `json:"engine,omitempty"`
 	Labels   map[string]string        `json:"labels,omitempty"`
 	Cycles   int64                    `json:"cycles"`
 	Latency  map[string]LatencyReport `json:"latency"`

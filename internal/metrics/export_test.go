@@ -107,6 +107,7 @@ func TestDecodeReportRoundTripsV3(t *testing.T) {
 	if rep.Schema != Schema {
 		t.Fatalf("fresh report schema = %q, want %q", rep.Schema, Schema)
 	}
+	rep.Engine = "ring" // additive v3 field, set by the sim layer
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -114,6 +115,9 @@ func TestDecodeReportRoundTripsV3(t *testing.T) {
 	back, err := DecodeReport(&buf)
 	if err != nil {
 		t.Fatalf("v3 round trip rejected: %v", err)
+	}
+	if back.Engine != "ring" {
+		t.Fatalf("engine = %q after round trip, want ring", back.Engine)
 	}
 	if back.Counters["queue.issued"] != 7 {
 		t.Fatalf("queue.issued = %d, want 7", back.Counters["queue.issued"])

@@ -105,12 +105,44 @@ type Ledger struct {
 	resCycles   [NumResources]int64
 	resCount    [NumResources]uint64
 
+	// stageNames overrides the report key of a stage row when non-empty.
+	// Engines register their own vocabulary here (SetStageNames): the Path
+	// engine keeps the defaults, Ring ORAM reports its single-slot read as
+	// "ring_read" rather than "path_read", and so on. Purely cosmetic —
+	// the accumulation arrays above are indexed by Stage either way.
+	stageNames [NumStages]string
+
 	requests  uint64 // primary requests recorded
 	coalesced uint64 // secondary misses recorded
 	forward   int64  // sum of issue→forward latencies (both kinds)
 	complete  int64  // sum of issue→done latencies (primaries)
 
 	violations uint64 // requests whose entries failed to telescope
+}
+
+// SetStageNames overrides the report keys of the given stage rows — the
+// per-engine ledger stage registration. Stages absent from names keep
+// their default keys; an empty map (or nil receiver) is a no-op. The
+// override affects only how rows are labelled in reports and lookups,
+// never how cycles are accumulated, so attaching it cannot change a run.
+func (l *Ledger) SetStageNames(names map[Stage]string) {
+	if l == nil {
+		return
+	}
+	for s, n := range names {
+		if int(s) < len(l.stageNames) && n != "" {
+			l.stageNames[s] = n
+		}
+	}
+}
+
+// StageName returns the report key of a stage: the engine's registered
+// override when one exists, the default otherwise.
+func (l *Ledger) StageName(s Stage) string {
+	if l != nil && int(s) < len(l.stageNames) && l.stageNames[s] != "" {
+		return l.stageNames[s]
+	}
+	return s.String()
 }
 
 // RecordAccess charges one primary request: queueWait + posmap + pathRead
@@ -301,7 +333,7 @@ func (l *Ledger) Report() *LedgerReport {
 		Violations:     l.violations,
 	}
 	for s := Stage(0); s < NumStages; s++ {
-		e := StageEntry{Stage: s.String(), Cycles: l.stageCycles[s], Count: l.stageCount[s]}
+		e := StageEntry{Stage: l.StageName(s), Cycles: l.stageCycles[s], Count: l.stageCount[s]}
 		if e.Count > 0 {
 			e.Mean = float64(e.Cycles) / float64(e.Count)
 		}

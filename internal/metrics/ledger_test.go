@@ -75,3 +75,31 @@ func TestLedgerReportShape(t *testing.T) {
 		t.Fatalf("untouched resources exported: %+v", r.Resources)
 	}
 }
+
+func TestLedgerStageNames(t *testing.T) {
+	var l Ledger
+	l.SetStageNames(map[Stage]string{StagePathRead: "ring_read", StageEvictDrain: ""})
+	if got := l.StageName(StagePathRead); got != "ring_read" {
+		t.Fatalf("StageName(StagePathRead) = %q, want ring_read", got)
+	}
+	// Empty overrides are skipped; unnamed stages keep their defaults.
+	if got := l.StageName(StageEvictDrain); got != StageEvictDrain.String() {
+		t.Fatalf("StageName(StageEvictDrain) = %q, want the default %q", got, StageEvictDrain)
+	}
+	if got := l.StageName(StageQueueWait); got != StageQueueWait.String() {
+		t.Fatalf("StageName(StageQueueWait) = %q, want the default %q", got, StageQueueWait)
+	}
+	l.RecordAccess(5, 0, 80, 15, 100)
+	r := l.Report()
+	if r.Stage("ring_read").Cycles != 80 {
+		t.Fatalf("renamed stage missing from report: %+v", r.Stages)
+	}
+	if r.Stage("path_read").Count != 0 {
+		t.Fatalf("default name survived the rename: %+v", r.Stages)
+	}
+	// nil maps are a no-op, not a wipe.
+	l.SetStageNames(nil)
+	if got := l.StageName(StagePathRead); got != "ring_read" {
+		t.Fatalf("nil SetStageNames cleared overrides: %q", got)
+	}
+}

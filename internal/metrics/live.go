@@ -14,6 +14,9 @@ import "sync/atomic"
 type LiveSnapshot struct {
 	// Cycles is the simulated cycle at which the snapshot was taken.
 	Cycles int64 `json:"cycles"`
+	// Engine names the ORAM engine serving the run ("path", "ring", ...),
+	// so a snapshot from a multi-engine bench sweep is self-describing.
+	Engine string `json:"engine,omitempty"`
 	// Requests is the number of ORAM requests recorded so far.
 	Requests uint64 `json:"requests"`
 

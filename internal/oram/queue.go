@@ -8,9 +8,13 @@ import (
 )
 
 // Queue is the multi-requestor front end: an MSHR-style table between the
-// N cores of a multi-core processor and one shared ORAM controller.
+// N cores of a multi-core processor and one shared ORAM engine. It
+// composes against the public Engine seam, so any registered engine whose
+// capabilities include Cores can sit behind it; the functional operations
+// (Read/Write) and the writeback pump additionally need the Path
+// controller and are resolved by type assertion at construction.
 //
-// The controller models serial hardware and serves one access at a time;
+// The engine models serial hardware and serves one access at a time;
 // the queue is what lets several cores share it soundly:
 //
 //   - Coalescing: a secondary miss on an address whose primary miss is
@@ -36,7 +40,8 @@ import (
 // the simulator itself presents requests from one goroutine.
 type Queue struct {
 	mu    sync.Mutex
-	ctrl  *Controller
+	eng   Engine
+	ctrl  *Controller // non-nil when eng is the Path controller
 	cores int
 
 	live []mshr // in-flight entries, pruned as their forwards pass
@@ -69,12 +74,14 @@ type QueueStats struct {
 	MaxDepth  int    // high-water mark of in-flight MSHRs
 }
 
-// NewQueue builds the front end for cores requestors sharing ctrl.
-func NewQueue(ctrl *Controller, cores int) *Queue {
+// NewQueue builds the front end for cores requestors sharing eng.
+func NewQueue(eng Engine, cores int) *Queue {
 	if cores < 1 {
 		panic(fmt.Sprintf("oram: queue needs >= 1 core, got %d", cores))
 	}
-	return &Queue{ctrl: ctrl, cores: cores}
+	q := &Queue{eng: eng, cores: cores}
+	q.ctrl, _ = eng.(*Controller)
+	return q
 }
 
 // SetMetrics attaches an observability collector (nil detaches): per-core
@@ -91,8 +98,32 @@ func (q *Queue) SetMetrics(mc *metrics.Collector) {
 	}
 }
 
-// Controller exposes the shared controller behind the queue.
+// Controller exposes the shared Path controller behind the queue, or nil
+// when a different engine is serving it; Engine always answers.
 func (q *Queue) Controller() *Controller { return q.ctrl }
+
+// Engine exposes the shared engine behind the queue.
+func (q *Queue) Engine() Engine { return q.eng }
+
+// functional returns the Path controller for the functional operations,
+// which only it implements.
+func (q *Queue) functional() *Controller {
+	if q.ctrl == nil {
+		panic(fmt.Sprintf("oram: engine %q has no functional mode", q.eng.Name()))
+	}
+	return q.ctrl
+}
+
+// ledger returns the attached collector's attribution ledger (nil-safe).
+func (q *Queue) ledger() *metrics.Ledger {
+	if q.ctrl != nil {
+		return q.ctrl.ledger()
+	}
+	if lc, ok := q.eng.(interface{ Ledger() *metrics.Ledger }); ok {
+		return lc.Ledger()
+	}
+	return nil
+}
 
 // Stats returns a copy of the front end's counters.
 func (q *Queue) Stats() QueueStats {
@@ -123,7 +154,7 @@ func (q *Queue) Issue(now int64, core int, addr uint32, write bool) (forward, do
 		return e.forward, e.done
 	}
 
-	out := q.ctrl.Request(now, addr, write)
+	out := q.eng.Request(now, addr, write)
 	q.admit(now, core, addr, out)
 	return out.Forward, out.Done
 }
@@ -140,15 +171,16 @@ func (q *Queue) Read(now int64, core int, addr uint32) ([]byte, Outcome) {
 	defer q.mu.Unlock()
 	q.enter(now)
 
+	ctrl := q.functional()
 	if e := q.coalesce(now, core, addr); e != nil {
-		data, ok := q.ctrl.PeekBlock(addr)
+		data, ok := ctrl.PeekBlock(addr)
 		if !ok {
 			panic(fmt.Sprintf("oram: block %d vanished behind its in-flight MSHR", addr))
 		}
 		return data, Outcome{Start: now, Forward: e.forward, Done: e.done}
 	}
 
-	data, out := q.ctrl.ReadBlock(now, addr)
+	data, out := ctrl.ReadBlock(now, addr)
 	q.admit(now, core, addr, out)
 	return data, out
 }
@@ -163,7 +195,7 @@ func (q *Queue) Write(now int64, core int, addr uint32, data []byte) (Outcome, e
 	defer q.mu.Unlock()
 	q.enter(now)
 
-	out, err := q.ctrl.WriteBlock(now, addr, data)
+	out, err := q.functional().WriteBlock(now, addr, data)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -189,7 +221,9 @@ func (q *Queue) checkCore(core int) {
 // reads still serve in (cycle, core) order. No-op for the coupled engines.
 func (q *Queue) enter(now int64) {
 	q.prune(now)
-	q.ctrl.PumpWritebacks(now)
+	if q.ctrl != nil {
+		q.ctrl.PumpWritebacks(now)
+	}
 }
 
 // coalesce attaches a presentation to an in-flight MSHR for addr, if one
@@ -199,7 +233,7 @@ func (q *Queue) coalesce(now int64, core int, addr uint32) *mshr {
 		if e := &q.live[i]; e.addr == addr && now < e.forward {
 			q.stats.Coalesced++
 			q.mc.Count("queue.coalesced", 1)
-			q.ctrl.ledger().RecordCoalesced(e.forward - now)
+			q.ledger().RecordCoalesced(e.forward - now)
 			q.observe(now, core, e.forward-now)
 			return e
 		}
@@ -260,12 +294,16 @@ func (q *Queue) observe(now int64, core int, lat int64) {
 // which completes it with its own digests and installs it for the debug
 // endpoint.
 func (q *Queue) publishLive(now int64) {
-	q.mc.PublishLive(&metrics.LiveSnapshot{
+	snap := &metrics.LiveSnapshot{
 		Cycles:         now,
+		Engine:         q.eng.Name(),
 		QueueDepth:     len(q.live),
 		QueueIssued:    q.stats.Issued,
 		QueueOnChip:    q.stats.OnChip,
 		QueueCoalesced: q.stats.Coalesced,
-		ChannelUtil:    q.ctrl.ChannelUtil(now),
-	})
+	}
+	if cu, ok := q.eng.(interface{ ChannelUtil(now int64) []float64 }); ok {
+		snap.ChannelUtil = cu.ChannelUtil(now)
+	}
+	q.mc.PublishLive(snap)
 }

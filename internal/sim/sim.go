@@ -13,6 +13,7 @@ import (
 	"shadowblock/internal/dram"
 	"shadowblock/internal/metrics"
 	"shadowblock/internal/oram"
+	_ "shadowblock/internal/ring" // register the "ring" engine
 	"shadowblock/internal/trace"
 )
 
@@ -23,10 +24,12 @@ type Spec struct {
 	Refs    int    // memory references per core
 	Seed    uint64 // workload seed
 
-	// Memory system: Insecure bypasses ORAM entirely; otherwise ORAM is
-	// the controller configuration and Policy (nil = Tiny ORAM) selects
-	// the duplication scheme.
+	// Memory system: Insecure bypasses ORAM entirely; otherwise Engine
+	// names the registered ORAM engine ("" = "path", the Tiny ORAM
+	// controller), ORAM is the engine configuration and Policy (nil =
+	// no duplication) selects the duplication scheme.
 	Insecure bool
+	Engine   string
 	ORAM     oram.Config
 	Policy   *core.Config
 
@@ -130,30 +133,47 @@ func Run(spec Spec) (Metrics, error) {
 			spec.Profile.Name, fp, spec.ORAM.NumDataBlocks(), spec.ORAM.L, minL)
 	}
 
-	var ctrl *oram.Controller
-	var pol *core.Policy
-	var err error
-	if spec.Policy == nil {
-		ctrl, err = oram.New(spec.ORAM, nil)
-	} else {
-		ctrl, pol, err = core.New(spec.ORAM, *spec.Policy)
+	// Build the engine through the public seam. The Path engine goes
+	// through the exact construction sequence core.New performed before
+	// the seam existed (unbound policy → controller → bind), so every
+	// pre-seam configuration is bit-identical (see TestSeamGoldens).
+	engine := spec.Engine
+	if engine == "" {
+		engine = oram.PathEngine
 	}
+	info, ok := oram.LookupEngine(engine)
+	if !ok {
+		return Metrics{}, fmt.Errorf("sim: unknown engine %q (known engines: %v)", engine, oram.Engines())
+	}
+	if spec.CPU.Cores > 1 && !info.Caps.Cores {
+		return Metrics{}, fmt.Errorf("sim: engine %q does not compose with the multi-core front end", engine)
+	}
+	var pol *core.Policy
+	var dup oram.DupPolicy // typed nil must stay interface nil
+	if spec.Policy != nil {
+		p, err := core.NewUnbound(*spec.Policy)
+		if err != nil {
+			return Metrics{}, err
+		}
+		pol, dup = p, p
+	}
+	eng, err := oram.NewEngine(engine, spec.ORAM, dup)
 	if err != nil {
 		return Metrics{}, err
 	}
 	if spec.Metrics != nil {
-		ctrl.SetMetrics(spec.Metrics)
+		eng.SetMetrics(spec.Metrics)
 		if pol != nil {
 			pol.SetMetrics(spec.Metrics)
 		}
 		spec.CPU.Metrics = spec.Metrics
 	}
-	// All cores issue into the shared controller through the MSHR-style
+	// All cores issue into the shared engine through the MSHR-style
 	// front end; the queue satisfies cpu.CoreMemory directly. Trace block
 	// addresses map one-to-one onto ORAM data blocks: the footprint check
 	// above guarantees no two trace addresses alias onto one block
 	// (folding them would silently inflate hit rates).
-	queue := oram.NewQueue(ctrl, spec.CPU.Cores)
+	queue := oram.NewQueue(eng, spec.CPU.Cores)
 	if spec.Metrics != nil {
 		queue.SetMetrics(spec.Metrics)
 	}
@@ -162,11 +182,11 @@ func Run(spec Spec) (Metrics, error) {
 		return Metrics{}, err
 	}
 	cycles := res.Cycles
-	if d := ctrl.Drain(); d > cycles {
+	if d := eng.Drain(); d > cycles {
 		cycles = d
 	}
-	ost := ctrl.Stats()
-	mst := ctrl.MemStats()
+	ost := eng.Stats()
+	mst := eng.MemStats()
 	m := Metrics{
 		Cycles:     cycles,
 		DataAccess: ost.DataAccessCycles,
@@ -183,8 +203,11 @@ func Run(spec Spec) (Metrics, error) {
 	if pol != nil {
 		m.MeanPartition = pol.MeanPartition()
 	}
+	spec.Engine = engine // resolved name labels the report
 	finishObservation(spec, &m)
-	attachMemLedger(&m, ctrl.MemLedger())
+	if ml, ok := eng.(interface{ MemLedger() []dram.ChannelLedger }); ok {
+		attachMemLedger(&m, ml.MemLedger())
+	}
 	return m, nil
 }
 
@@ -221,6 +244,7 @@ func finishObservation(spec Spec, m *Metrics) {
 		"seed":  fmt.Sprint(spec.Seed),
 		"refs":  fmt.Sprint(spec.Refs),
 	})
+	m.Obs.Engine = spec.Engine
 }
 
 // Energy model parameters (arbitrary consistent units, following the
